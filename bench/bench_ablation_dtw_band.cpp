@@ -1,0 +1,56 @@
+// Ablation: Sakoe-Chiba banding for DTW. The paper uses unconstrained
+// DTW; banding bounds the warp and cuts the O(len^2) cost. Measures the
+// effect on the chosen cluster counts and the resulting spatial-model fit.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/signature_search.hpp"
+#include "core/spatial_model.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Ablation — DTW Sakoe-Chiba band width",
+                  "paper uses unconstrained DTW (band = inf)");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 50);
+    options.num_days = 2;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    std::printf("%-10s %10s %12s %14s %12s\n", "band", "clusters", "sig ratio%",
+                "fit APE(%)", "time (ms)");
+    for (int band : {-1, 48, 16, 8, 4, 2}) {
+        std::vector<double> clusters;
+        std::vector<double> ratios;
+        std::vector<double> apes;
+        const auto start = std::chrono::steady_clock::now();
+        for (int b = 0; b < options.num_boxes; ++b) {
+            const trace::BoxTrace box = trace::generate_box(options, b);
+            const auto series = box.demand_matrix();
+            core::SignatureSearchOptions search;
+            search.method = core::ClusteringMethod::kDtw;
+            search.dtw_band = band;
+            const auto result = core::find_signatures(series, search);
+            clusters.push_back(result.num_clusters);
+            ratios.push_back(100.0 * result.signature_ratio(series.size()));
+            core::SpatialModel model;
+            model.fit(series, result.signatures);
+            if (!model.dependent_fit_ape().empty()) {
+                apes.push_back(100.0 * ts::mean(model.dependent_fit_ape()));
+            }
+        }
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        char label[16];
+        std::snprintf(label, sizeof(label), band < 0 ? "inf" : "%d", band);
+        std::printf("%-10s %10.1f %12.1f %14.1f %12lld\n", label,
+                    ts::mean(clusters), ts::mean(ratios), ts::mean(apes),
+                    static_cast<long long>(elapsed));
+    }
+    return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation (beyond the paper's fixed eps = 5): ticket reduction and MCKP
+// problem size as a function of the discretization factor epsilon.
+// Larger epsilon shrinks the candidate sets (cheaper solves) and widens
+// the safety margin (rounding demands up), at the cost of allocating more
+// capacity than strictly needed.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "resize/reduced_demand.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Ablation — discretization factor epsilon",
+                  "paper fixes eps=5 (percent of capacity); sweep 0..20");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 120);
+    options.num_days = 2;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    std::printf("%-8s %14s %14s %18s\n", "eps(%)", "CPU red.(%)", "RAM red.(%)",
+                "candidates/VM");
+    for (double eps : {0.0, 1.0, 2.0, 5.0, 10.0, 20.0}) {
+        std::vector<double> cpu_red;
+        std::vector<double> ram_red;
+        double candidate_sum = 0.0;
+        std::size_t candidate_groups = 0;
+        for (int b = 0; b < options.num_boxes; ++b) {
+            const trace::BoxTrace box = trace::generate_box(options, b);
+            const auto results = core::evaluate_resize_policies_on_actuals(
+                box, 96, 1, 0.6, eps, {resize::ResizePolicy::kAtmGreedy});
+            if (results[0].cpu_before > 0) {
+                cpu_red.push_back(results[0].cpu_reduction_pct());
+            }
+            if (results[0].ram_before > 0) {
+                ram_red.push_back(results[0].ram_reduction_pct());
+            }
+            // Candidate-count proxy for solver size: CPU demand day 1.
+            const auto demands = box.demand_matrix();
+            for (std::size_t i = 0; i < box.vms.size(); ++i) {
+                const auto& row = demands[i * 2];
+                const std::vector<double> day(row.end() - 96, row.end());
+                const double eps_abs =
+                    eps / 100.0 * box.vms[i].cpu_capacity_ghz;
+                const auto set =
+                    resize::build_reduced_demand_set(day, 0.6, eps_abs);
+                candidate_sum += static_cast<double>(set.candidates.size());
+                ++candidate_groups;
+            }
+        }
+        std::printf("%-8.0f %10.1f+-%-5.1f %8.1f+-%-5.1f %14.1f\n", eps,
+                    ts::mean(cpu_red), ts::stddev(cpu_red), ts::mean(ram_red),
+                    ts::stddev(ram_red),
+                    candidate_sum / static_cast<double>(candidate_groups));
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation: optimality gap of the greedy MTRV solver against the exact
+// MCKP dynamic program, on the per-box instances of the Fig. 8 study.
+// The paper uses the greedy ("minimal algorithm") and never quantifies
+// the gap; this measures it.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "resize/mckp.hpp"
+#include "resize/policies.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Ablation — greedy MTRV vs exact MCKP",
+                  "not in the paper; quantifies the greedy's optimality gap");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 80);
+    options.num_days = 1;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    // Stress the solver with a tightened budget: fraction of the true box
+    // capacity, so contention forces non-trivial downgrade decisions.
+    std::printf("%-14s %12s %12s %12s %10s\n", "budget factor", "greedy tkts",
+                "exact tkts", "gap (tkts)", "gap boxes");
+    for (double factor : {1.0, 0.7, 0.5, 0.35}) {
+        long greedy_total = 0;
+        long exact_total = 0;
+        int gap_boxes = 0;
+        for (int b = 0; b < options.num_boxes; ++b) {
+            const trace::BoxTrace box = trace::generate_box(options, b);
+            const auto demands = box.demand_matrix();
+            resize::ResizeInput input;
+            input.alpha = 0.6;
+            input.total_capacity = box.cpu_capacity_ghz * factor;
+            for (std::size_t i = 0; i < box.vms.size(); ++i) {
+                const auto& row = demands[i * 2];
+                input.demands.emplace_back(row.end() - 96, row.end());
+            }
+            const auto greedy = resize::atm_resize(input);
+            const auto exact = resize::atm_resize_exact(input, 4096);
+            greedy_total += greedy.tickets;
+            exact_total += exact.tickets;
+            if (exact.tickets < greedy.tickets) ++gap_boxes;
+        }
+        std::printf("%-14.2f %12ld %12ld %12ld %10d\n", factor, greedy_total,
+                    exact_total, greedy_total - exact_total, gap_boxes);
+    }
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: spatial-model fit error as a function of the (forced)
+// signature-set size. The paper's search picks the size automatically
+// (silhouette / correlation threshold); this sweeps it directly by
+// cutting the DTW dendrogram at fixed k, showing the accuracy-vs-cost
+// frontier that motivates the signature-set concept.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/dtw.hpp"
+#include "cluster/hierarchical.hpp"
+#include "core/spatial_model.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Ablation — forced signature-set size",
+                  "not in the paper; accuracy-vs-size frontier of the "
+                  "spatial model");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 60);
+    options.num_days = 2;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    std::printf("%-16s %14s %12s\n", "forced ratio", "APE mean(%)",
+                "boxes used");
+    for (double ratio : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+        std::vector<double> apes;
+        for (int b = 0; b < options.num_boxes; ++b) {
+            const trace::BoxTrace box = trace::generate_box(options, b);
+            const auto series = box.demand_matrix();
+            const int n = static_cast<int>(series.size());
+            const int k = std::max(1, static_cast<int>(ratio * n + 0.5));
+            const auto dist = cluster::dtw_distance_matrix(series);
+            const auto labels = cluster::hierarchical_cluster(dist, k);
+            const auto medoids = cluster::cluster_medoids(dist, labels);
+            if (static_cast<int>(medoids.size()) >= n) continue;  // no dependents
+            core::SpatialModel model;
+            model.fit(series, medoids);
+            if (!model.dependent_fit_ape().empty()) {
+                apes.push_back(100.0 * ts::mean(model.dependent_fit_ape()));
+            }
+        }
+        std::printf("%-16.2f %14.1f %12zu\n", ratio, ts::mean(apes),
+                    apes.size());
+    }
+    return 0;
+}

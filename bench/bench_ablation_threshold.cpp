@@ -1,0 +1,50 @@
+// Ablation: the full resize-on-actuals study at ticket thresholds
+// 60/70/80% (the paper characterizes all three thresholds in Fig. 2 but
+// fixes 60% for the resizing evaluation).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Ablation — ticket threshold",
+                  "paper evaluates resizing at threshold 60% only");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 120);
+    options.num_days = 2;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    const std::vector<resize::ResizePolicy> policies{
+        resize::ResizePolicy::kAtmGreedy,
+        resize::ResizePolicy::kMaxMinFairness,
+    };
+
+    std::printf("%-10s %22s %22s\n", "threshold", "ATM cpu/ram red.(%)",
+                "max-min cpu/ram red.(%)");
+    for (double alpha : {0.6, 0.7, 0.8}) {
+        std::vector<double> cpu_red[2];
+        std::vector<double> ram_red[2];
+        for (int b = 0; b < options.num_boxes; ++b) {
+            const trace::BoxTrace box = trace::generate_box(options, b);
+            const auto results = core::evaluate_resize_policies_on_actuals(
+                box, 96, 1, alpha, 5.0, policies);
+            for (std::size_t p = 0; p < policies.size(); ++p) {
+                if (results[p].cpu_before > 0) {
+                    cpu_red[p].push_back(results[p].cpu_reduction_pct());
+                }
+                if (results[p].ram_before > 0) {
+                    ram_red[p].push_back(results[p].ram_reduction_pct());
+                }
+            }
+        }
+        std::printf("%-10.0f %10.1f / %-9.1f %10.1f / %-9.1f\n", alpha * 100,
+                    ts::mean(cpu_red[0]), ts::mean(ram_red[0]),
+                    ts::mean(cpu_red[1]), ts::mean(ram_red[1]));
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+// Shared helpers for the figure-regeneration benches. Every bench accepts
+// scale knobs via environment variables (ATM_BOXES, ATM_SEED, ...) so a
+// paper-scale run (6000 boxes) is one env var away from the fast default.
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timeseries/cdf.hpp"
+#include "timeseries/stats.hpp"
+
+namespace atm::bench {
+
+/// Integer knob from the environment with a default.
+inline int env_int(const char* name, int fallback) {
+    const char* value = std::getenv(name);
+    return value == nullptr ? fallback : std::atoi(value);
+}
+
+inline double env_double(const char* name, double fallback) {
+    const char* value = std::getenv(name);
+    return value == nullptr ? fallback : std::atof(value);
+}
+
+/// Prints a figure banner with the paper reference values for comparison.
+inline void banner(const char* figure, const char* paper_says) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", figure);
+    std::printf("paper: %s\n", paper_says);
+    std::printf("==============================================================\n");
+}
+
+/// Prints a box-plot style summary row (the paper's Fig. 6/7 box plots).
+inline void print_summary_row(const std::string& label,
+                              std::span<const double> values) {
+    const ts::Summary s = ts::summarize(values);
+    std::printf("%-28s p25=%7.2f median=%7.2f p75=%7.2f mean=%7.2f "
+                "min=%7.2f max=%7.2f (n=%zu)\n",
+                label.c_str(), s.p25, s.median, s.p75, s.mean, s.min, s.max,
+                s.count);
+}
+
+/// Prints an empirical CDF as (x, F) rows, `points` rows.
+inline void print_cdf(const std::string& label, std::span<const double> values,
+                      int points = 11) {
+    const ts::EmpiricalCdf cdf(values);
+    std::printf("%s CDF (n=%zu):\n", label.c_str(), cdf.sample_count());
+    for (const auto& p : cdf.grid(points)) {
+        std::printf("  x=%8.3f  F=%.3f\n", p.x, p.f);
+    }
+}
+
+}  // namespace atm::bench

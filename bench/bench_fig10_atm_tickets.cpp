@@ -1,0 +1,93 @@
+// Fig. 10: ticket reduction of the full ATM pipeline (spatial-temporal
+// prediction + resizing) against the max-min fairness and stingy
+// baselines, on gap-free boxes: 5 training days, resize the following day,
+// count tickets on the actual demands of that day.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/pipeline.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner(
+        "Fig. 10 — full-ATM ticket reduction (prediction + resizing)",
+        "ATM ~60% CPU / ~70% RAM; baselines worse; huge per-box variance; "
+        "max-min can increase tickets on some boxes");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 40);
+    options.num_days = 6;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    const std::vector<resize::ResizePolicy> policies{
+        resize::ResizePolicy::kAtmGreedy,
+        resize::ResizePolicy::kStingy,
+        resize::ResizePolicy::kMaxMinFairness,
+    };
+
+    // ATM with both clustering methods + the two baselines (baselines see
+    // the same predicted demands ATM does).
+    struct Row {
+        const char* name;
+        core::ClusteringMethod method;
+        std::size_t policy_index;
+    };
+    const Row rows[] = {
+        {"ATM w/ DTW", core::ClusteringMethod::kDtw, 0},
+        {"ATM w/ CBC", core::ClusteringMethod::kCbc, 0},
+        {"Stingy", core::ClusteringMethod::kCbc, 1},
+        {"Max-min fairness", core::ClusteringMethod::kCbc, 2},
+    };
+
+    std::vector<double> cpu_reduction[4];
+    std::vector<double> ram_reduction[4];
+
+    int evaluated = 0;
+    for (int b = 0; b < options.num_boxes * 2 && evaluated < options.num_boxes;
+         ++b) {
+        const trace::BoxTrace box = trace::generate_box(options, b);
+        if (box.has_gaps) continue;
+        ++evaluated;
+        for (int m = 0; m < 2; ++m) {
+            core::PipelineConfig config;
+            config.search.method = m == 0 ? core::ClusteringMethod::kDtw
+                                          : core::ClusteringMethod::kCbc;
+            config.temporal = forecast::TemporalModel::kNeuralNetwork;
+            config.train_days = 5;
+            const auto result = core::run_pipeline_on_box(
+                box, options.windows_per_day, config, policies);
+            // ATM row m; baseline rows only from the CBC run (row index 2, 3).
+            auto record = [&](std::size_t row, const core::PolicyTickets& t) {
+                if (t.cpu_before > 0) {
+                    cpu_reduction[row].push_back(t.cpu_reduction_pct());
+                }
+                if (t.ram_before > 0) {
+                    ram_reduction[row].push_back(t.ram_reduction_pct());
+                }
+            };
+            record(static_cast<std::size_t>(m), result.policies[0]);
+            if (m == 1) {
+                record(2, result.policies[1]);
+                record(3, result.policies[2]);
+            }
+        }
+    }
+    std::printf("evaluated %d gap-free boxes\n\n", evaluated);
+
+    std::printf("reduction in tickets (%%), boxes with tickets before:\n\nCPU:\n");
+    for (std::size_t r = 0; r < 4; ++r) {
+        const ts::Summary s = ts::summarize(cpu_reduction[r]);
+        std::printf("  %-18s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu)\n",
+                    rows[r].name, s.mean, s.median, s.stddev, s.count);
+    }
+    std::printf("RAM:\n");
+    for (std::size_t r = 0; r < 4; ++r) {
+        const ts::Summary s = ts::summarize(ram_reduction[r]);
+        std::printf("  %-18s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu)\n",
+                    rows[r].name, s.mean, s.median, s.stddev, s.count);
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 13: mean response time and throughput of wiki-one and wiki-two,
+// original vs ATM-resized.
+//
+// Known deviation (documented in EXPERIMENTS.md): the paper measured a 7%
+// *increase* in wiki-two's response time after resizing; in our open-loop
+// fluid model removing the Apache saturation lowers response time instead.
+// Throughput direction and wiki-one's RT improvement at constant
+// throughput reproduce.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "mediawiki/simulator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Fig. 13 — MediaWiki performance, original vs resized",
+                  "wiki-one: RT 582->454 ms (-22%), TPUT flat; wiki-two: "
+                  "TPUT 14->17 rps (+21%), RT 915->979 ms (+7%)");
+
+    const wiki::TestbedSpec spec = wiki::make_mediawiki_testbed();
+    const wiki::SimResult original = wiki::simulate(spec);
+    const wiki::SimResult resized =
+        wiki::simulate(wiki::resize_with_atm(spec, original));
+
+    for (std::size_t w = 0; w < spec.wikis.size(); ++w) {
+        const auto& before = original.wikis[w];
+        const auto& after = resized.wikis[w];
+        std::printf("%s:\n", spec.wikis[w].name.c_str());
+        std::printf("  mean RT    %7.0f ms -> %7.0f ms  (%+.1f%%)\n",
+                    1000.0 * before.mean_response_time_s,
+                    1000.0 * after.mean_response_time_s,
+                    100.0 * (after.mean_response_time_s /
+                                 before.mean_response_time_s -
+                             1.0));
+        std::printf("  mean TPUT  %7.1f rps -> %6.1f rps  (%+.1f%%)\n",
+                    before.mean_throughput_rps, after.mean_throughput_rps,
+                    100.0 * (after.mean_throughput_rps /
+                                 before.mean_throughput_rps -
+                             1.0));
+    }
+    return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 2: characterization of usage tickets for CPU and RAM per box at
+// ticket thresholds 60/70/80%:
+//   (a) percentage of boxes with at least one ticket,
+//   (b) mean +- std of tickets per box,
+//   (c) number of culprit VMs (covering 80% of a box's tickets).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ticketing/characterization.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner(
+        "Fig. 2 — usage-ticket characterization",
+        "(a) CPU 57/46/40%, RAM 38/~20/10% of boxes; (b) CPU 39/33/29, "
+        "RAM 15/11/9 tickets/box; (c) 1-2 culprit VMs");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 600);
+    options.num_days = 1;  // the paper characterizes April 3, 2015
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+    const trace::Trace trace = trace::generate_trace(options);
+    std::printf("population: %zu boxes, %zu VMs\n\n", trace.boxes.size(),
+                trace.total_vms());
+
+    std::printf("(a) %% of boxes with >=1 ticket   (b) tickets per box         "
+                "(c) culprit VMs\n");
+    std::printf("%-10s %8s %8s   %18s %18s   %8s %8s\n", "threshold", "CPU",
+                "RAM", "CPU mean+-std", "RAM mean+-std", "CPU", "RAM");
+    for (double th : {60.0, 70.0, 80.0}) {
+        const auto c = ticketing::characterize_tickets(trace, th);
+        std::printf("%-10.0f %7.1f%% %7.1f%%   %9.1f +- %5.1f  %9.1f +- %5.1f   "
+                    "%8.2f %8.2f\n",
+                    th, 100.0 * c.boxes_with_cpu_tickets,
+                    100.0 * c.boxes_with_ram_tickets, c.mean_cpu_tickets_per_box,
+                    c.std_cpu_tickets_per_box, c.mean_ram_tickets_per_box,
+                    c.std_ram_tickets_per_box, c.mean_cpu_culprits,
+                    c.mean_ram_culprits);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 5: distribution of the number of clusters found by DTW vs CBC over
+// the box population, split by the resource type (CPU/RAM) of the
+// resulting signature series.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/signature_search.hpp"
+#include "tracegen/generator.hpp"
+
+namespace {
+
+struct Bucket {
+    int lo;
+    int hi;
+    const char* label;
+};
+constexpr Bucket kBuckets[] = {{2, 3, "2-3"},     {4, 5, "4-5"},
+                               {6, 7, "6-7"},     {8, 9, "8-9"},
+                               {10, 15, "10-15"}, {16, 31, "16-31"},
+                               {32, 64, "32-64"}};
+
+}  // namespace
+
+int main() {
+    using namespace atm;
+    bench::banner("Fig. 5 — cluster-count distribution, DTW vs CBC",
+                  "DTW: ~70% of boxes in 2-3 clusters, signature types "
+                  "~50/50 CPU/RAM; CBC: more clusters, mostly CPU signatures");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 120);
+    options.num_days = bench::env_int("ATM_TRAIN_DAYS", 2);
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    struct MethodStats {
+        std::vector<int> bucket_count = std::vector<int>(std::size(kBuckets), 0);
+        int cpu_signatures = 0;
+        int ram_signatures = 0;
+    };
+    MethodStats dtw_stats;
+    MethodStats cbc_stats;
+
+    for (int b = 0; b < options.num_boxes; ++b) {
+        const trace::BoxTrace box = trace::generate_box(options, b);
+        const auto series = box.demand_matrix();
+        for (auto method : {core::ClusteringMethod::kDtw, core::ClusteringMethod::kCbc}) {
+            core::SignatureSearchOptions search;
+            search.method = method;
+            search.apply_stepwise = false;  // Fig. 5 shows step-1 clustering
+            const auto result = core::find_signatures(series, search);
+            MethodStats& stats =
+                method == core::ClusteringMethod::kDtw ? dtw_stats : cbc_stats;
+            for (std::size_t k = 0; k < std::size(kBuckets); ++k) {
+                if (result.num_clusters >= kBuckets[k].lo &&
+                    result.num_clusters <= kBuckets[k].hi) {
+                    ++stats.bucket_count[k];
+                    break;
+                }
+            }
+            for (int sig : result.signatures) {
+                if (sig % ts::kNumResources == 0) {
+                    ++stats.cpu_signatures;
+                } else {
+                    ++stats.ram_signatures;
+                }
+            }
+        }
+    }
+
+    std::printf("%-8s %12s %12s\n", "clusters", "DTW boxes%", "CBC boxes%");
+    for (std::size_t k = 0; k < std::size(kBuckets); ++k) {
+        std::printf("%-8s %11.1f%% %11.1f%%\n", kBuckets[k].label,
+                    100.0 * dtw_stats.bucket_count[k] / options.num_boxes,
+                    100.0 * cbc_stats.bucket_count[k] / options.num_boxes);
+    }
+    auto pct_cpu = [](const MethodStats& s) {
+        const int total = s.cpu_signatures + s.ram_signatures;
+        return total == 0 ? 0.0 : 100.0 * s.cpu_signatures / total;
+    };
+    std::printf("\nsignature composition: DTW %.1f%% CPU / %.1f%% RAM;  "
+                "CBC %.1f%% CPU / %.1f%% RAM\n",
+                pct_cpu(dtw_stats), 100.0 - pct_cpu(dtw_stats),
+                pct_cpu(cbc_stats), 100.0 - pct_cpu(cbc_stats));
+    return 0;
+}

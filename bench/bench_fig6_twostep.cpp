@@ -1,0 +1,76 @@
+// Fig. 6: effectiveness of the two-step signature search.
+//   (a) ratio of signature to original series after step 1 (clustering)
+//       and after step 2 (VIF + stepwise regression), for DTW and CBC;
+//   (b) mean absolute percentage error of the spatial model's fit of the
+//       dependent series at each step.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/signature_search.hpp"
+#include "core/spatial_model.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner(
+        "Fig. 6 — clustering vs stepwise regression",
+        "(a) signature ratio: DTW 26%->26%, CBC 82%->66%; (b) APE: DTW "
+        "~28%, CBC ~20%, stepwise costs <=1%");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 120);
+    options.num_days = bench::env_int("ATM_TRAIN_DAYS", 2);
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+
+    struct Cell {
+        std::vector<double> ratio_pct;
+        std::vector<double> ape_pct;
+    };
+    // [method][step], step 0 = clustering only, step 1 = + stepwise.
+    Cell cells[2][2];
+
+    for (int b = 0; b < options.num_boxes; ++b) {
+        const trace::BoxTrace box = trace::generate_box(options, b);
+        const auto series = box.demand_matrix();
+        for (int m = 0; m < 2; ++m) {
+            for (int step = 0; step < 2; ++step) {
+                core::SignatureSearchOptions search;
+                search.method = m == 0 ? core::ClusteringMethod::kDtw
+                                       : core::ClusteringMethod::kCbc;
+                search.apply_stepwise = step == 1;
+                const auto result = core::find_signatures(series, search);
+                cells[m][step].ratio_pct.push_back(
+                    100.0 * result.signature_ratio(series.size()));
+
+                core::SpatialModel model;
+                model.fit(series, result.signatures);
+                const auto& apes = model.dependent_fit_ape();
+                if (!apes.empty()) {
+                    cells[m][step].ape_pct.push_back(100.0 * ts::mean(apes));
+                }
+            }
+        }
+    }
+
+    const char* method_names[] = {"DTW", "CBC"};
+    const char* step_names[] = {"clustering", "+stepwise"};
+    std::printf("(a) ratio of signature to original series (%%)\n");
+    for (int m = 0; m < 2; ++m) {
+        for (int step = 0; step < 2; ++step) {
+            bench::print_summary_row(
+                std::string(method_names[m]) + " " + step_names[step],
+                cells[m][step].ratio_pct);
+        }
+    }
+    std::printf("\n(b) spatial-model fit error, mean APE (%%)\n");
+    for (int m = 0; m < 2; ++m) {
+        for (int step = 0; step < 2; ++step) {
+            bench::print_summary_row(
+                std::string(method_names[m]) + " " + step_names[step],
+                cells[m][step].ape_pct);
+        }
+    }
+    return 0;
+}

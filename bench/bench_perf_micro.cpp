@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) backing the paper's "low
+// computational overhead" claim: per-operation cost of the building
+// blocks — DTW distance, hierarchical clustering, CBC, OLS fit, the MCKP
+// greedy, and MLP training — at per-box problem sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "cluster/cbc.hpp"
+#include "cluster/dtw.hpp"
+#include "cluster/hierarchical.hpp"
+#include "forecast/mlp_forecaster.hpp"
+#include "forecast/seasonal_naive.hpp"
+#include "linalg/ols.hpp"
+#include "resize/policies.hpp"
+#include "tracegen/generator.hpp"
+
+namespace {
+
+using namespace atm;
+
+std::vector<std::vector<double>> box_series(int days) {
+    trace::TraceGenOptions options;
+    options.num_days = days;
+    options.gappy_box_fraction = 0.0;
+    return trace::generate_box(options, 3).demand_matrix();
+}
+
+void BM_DtwDistance(benchmark::State& state) {
+    const auto series = box_series(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cluster::dtw_distance(series[0], series[2]));
+    }
+}
+BENCHMARK(BM_DtwDistance)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_DtwDistanceBanded(benchmark::State& state) {
+    const auto series = box_series(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::dtw_distance(series[0], series[2], /*band=*/8));
+    }
+}
+BENCHMARK(BM_DtwDistanceBanded)->Arg(1)->Arg(2)->Arg(5);
+
+void BM_DtwMatrixPlusClustering(benchmark::State& state) {
+    const auto series = box_series(1);
+    for (auto _ : state) {
+        const auto dist = cluster::dtw_distance_matrix(series);
+        const auto best = cluster::cluster_best_k(
+            dist, 2, static_cast<int>(series.size()) / 2);
+        benchmark::DoNotOptimize(best.num_clusters);
+    }
+}
+BENCHMARK(BM_DtwMatrixPlusClustering);
+
+void BM_CbcClustering(benchmark::State& state) {
+    const auto series = box_series(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cluster::cbc_cluster(series).size());
+    }
+}
+BENCHMARK(BM_CbcClustering);
+
+void BM_OlsFit(benchmark::State& state) {
+    const auto series = box_series(5);
+    const std::vector<std::vector<double>> predictors(series.begin(),
+                                                      series.begin() + 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(la::ols_fit(series[5], predictors).r_squared);
+    }
+}
+BENCHMARK(BM_OlsFit);
+
+void BM_MckpGreedyResize(benchmark::State& state) {
+    const auto series = box_series(1);
+    resize::ResizeInput input;
+    input.alpha = 0.6;
+    double peak_sum = 0.0;
+    for (std::size_t i = 0; i < series.size(); i += 2) {
+        input.demands.push_back(series[i]);
+        for (double d : series[i]) peak_sum = std::max(peak_sum, d);
+    }
+    input.total_capacity = peak_sum * static_cast<double>(input.demands.size()) * 0.6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(resize::atm_resize(input).tickets);
+    }
+}
+BENCHMARK(BM_MckpGreedyResize);
+
+void BM_MlpTrainSignature(benchmark::State& state) {
+    const auto series = box_series(5);
+    for (auto _ : state) {
+        forecast::MlpForecaster model;
+        model.fit(series[0]);
+        benchmark::DoNotOptimize(model.forecast(96).front());
+    }
+}
+BENCHMARK(BM_MlpTrainSignature)->Unit(benchmark::kMillisecond);
+
+void BM_SeasonalNaive(benchmark::State& state) {
+    const auto series = box_series(5);
+    for (auto _ : state) {
+        forecast::SeasonalNaiveForecaster model(96);
+        model.fit(series[0]);
+        benchmark::DoNotOptimize(model.forecast(96).front());
+    }
+}
+BENCHMARK(BM_SeasonalNaive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Internal calibration driver: prints the generator's Section II statistics
+// against the paper targets. Not part of the figure benches; used while
+// tuning TraceGenOptions defaults (kept in-tree so recalibration after a
+// generator change is one command).
+#include <cstdio>
+#include <cstdlib>
+
+#include "ticketing/characterization.hpp"
+#include "timeseries/stats.hpp"
+#include "tracegen/generator.hpp"
+
+int main(int argc, char** argv) {
+    atm::trace::TraceGenOptions options;
+    options.num_boxes = argc > 1 ? std::atoi(argv[1]) : 300;
+    options.num_days = 1;  // characterization uses one day
+    const atm::trace::Trace trace = atm::trace::generate_trace(options);
+
+    std::printf("boxes=%zu vms=%zu (%.1f vms/box)\n", trace.boxes.size(),
+                trace.total_vms(),
+                static_cast<double>(trace.total_vms()) / trace.boxes.size());
+
+    std::printf("\n-- Fig 2 targets: CPU box%% 57/46/40, RAM box%% 38/20/10; "
+                "CPU tickets 39/33/29, RAM 15/11/9; culprits 1-2 --\n");
+    for (double th : {60.0, 70.0, 80.0}) {
+        const auto c = atm::ticketing::characterize_tickets(trace, th, 0);
+        std::printf(
+            "th=%2.0f%%: boxes cpu=%4.1f%% ram=%4.1f%% | tickets/box cpu=%5.1f(+-%4.1f) "
+            "ram=%5.1f(+-%4.1f) | culprits cpu=%.2f ram=%.2f\n",
+            th, 100 * c.boxes_with_cpu_tickets, 100 * c.boxes_with_ram_tickets,
+            c.mean_cpu_tickets_per_box, c.std_cpu_tickets_per_box,
+            c.mean_ram_tickets_per_box, c.std_ram_tickets_per_box,
+            c.mean_cpu_culprits, c.mean_ram_culprits);
+    }
+
+    std::printf("\n-- Fig 3 targets (median of per-box medians): intra-CPU .26 "
+                "intra-RAM .24 inter-all .30 inter-pair .62 --\n");
+    const auto corr = atm::ticketing::characterize_correlations(trace, 0);
+    std::printf("intra-CPU  median=%.3f mean=%.3f\n",
+                atm::ts::median(corr.intra_cpu), atm::ts::mean(corr.intra_cpu));
+    std::printf("intra-RAM  median=%.3f mean=%.3f\n",
+                atm::ts::median(corr.intra_ram), atm::ts::mean(corr.intra_ram));
+    std::printf("inter-all  median=%.3f mean=%.3f\n",
+                atm::ts::median(corr.inter_all), atm::ts::mean(corr.inter_all));
+    std::printf("inter-pair median=%.3f mean=%.3f\n",
+                atm::ts::median(corr.inter_pair), atm::ts::mean(corr.inter_pair));
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Internal calibration driver for the MediaWiki testbed simulator: prints
+// original vs ATM-resized metrics against the Fig. 12/13 targets.
+#include <cstdio>
+
+#include "mediawiki/simulator.hpp"
+
+int main() {
+    using namespace atm::wiki;
+    const TestbedSpec spec = make_mediawiki_testbed();
+    const SimResult original = simulate(spec);
+    const TestbedSpec resized_spec = resize_with_atm(spec, original);
+    const SimResult resized = simulate(resized_spec);
+
+    std::printf("-- targets: tickets 49 -> 1; wiki-one RT 582->454ms TPUT flat; "
+                "wiki-two TPUT 14->17 RT ~flat --\n");
+    std::printf("tickets: original=%d resized=%d\n", original.total_tickets,
+                resized.total_tickets);
+    for (std::size_t w = 0; w < spec.wikis.size(); ++w) {
+        std::printf("%s: RT %.0f -> %.0f ms | TPUT %.1f -> %.1f rps\n",
+                    spec.wikis[w].name.c_str(),
+                    1000.0 * original.wikis[w].mean_response_time_s,
+                    1000.0 * resized.wikis[w].mean_response_time_s,
+                    original.wikis[w].mean_throughput_rps,
+                    resized.wikis[w].mean_throughput_rps);
+    }
+    std::printf("\nper-VM limits (cores) and tickets:\n");
+    for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+        std::printf("  %-14s node%d  limit %.2f -> %.2f  tickets %d -> %d\n",
+                    spec.vms[i].name.c_str(), spec.vms[i].node,
+                    spec.vms[i].cpu_limit_cores,
+                    resized_spec.vms[i].cpu_limit_cores, original.vm_tickets[i],
+                    resized.vm_tickets[i]);
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "cluster/cbc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace atm::cluster {
+
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<std::vector<double>>& series) {
+    const std::size_t n = series.size();
+    for (const auto& s : series) {
+        if (s.size() != series.front().size()) {
+            throw std::invalid_argument("correlation_matrix: unequal series lengths");
+        }
+    }
+    std::vector<std::vector<double>> rho(n, std::vector<double>(n, 1.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double r = ts::pearson(series[i], series[j]);
+            rho[i][j] = r;
+            rho[j][i] = r;
+        }
+    }
+    return rho;
+}
+
+std::vector<CbcCluster> cbc_cluster_from_correlation(
+    const std::vector<std::vector<double>>& rho, const CbcOptions& options) {
+    const std::size_t n = rho.size();
+    for (const auto& row : rho) {
+        if (row.size() != n) {
+            throw std::invalid_argument("cbc: non-square correlation matrix");
+        }
+    }
+
+    auto effective = [&](double r) { return options.use_absolute ? std::abs(r) : r; };
+
+    // Rank key per series: (#strong correlations, mean strong correlation).
+    struct Rank {
+        int strong_count = 0;
+        double strong_mean = 0.0;
+    };
+    std::vector<Rank> ranks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        int count = 0;
+        double sum = 0.0;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (l == i) continue;
+            const double r = effective(rho[i][l]);
+            if (r >= options.rho_threshold) {
+                ++count;
+                sum += r;
+            }
+        }
+        ranks[i] = Rank{count, count > 0 ? sum / count : 0.0};
+    }
+
+    std::vector<bool> clustered(n, false);
+    std::vector<CbcCluster> clusters;
+    for (;;) {
+        // Topmost still-unclustered series by (count, mean); index breaks ties
+        // deterministically.
+        std::size_t top = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (clustered[i]) continue;
+            if (top == n || ranks[i].strong_count > ranks[top].strong_count ||
+                (ranks[i].strong_count == ranks[top].strong_count &&
+                 ranks[i].strong_mean > ranks[top].strong_mean)) {
+                top = i;
+            }
+        }
+        if (top == n) break;
+
+        CbcCluster cluster;
+        cluster.head = static_cast<int>(top);
+        clustered[top] = true;
+        for (std::size_t l = 0; l < n; ++l) {
+            if (clustered[l]) continue;
+            if (effective(rho[top][l]) >= options.rho_threshold) {
+                cluster.members.push_back(static_cast<int>(l));
+                clustered[l] = true;
+            }
+        }
+        clusters.push_back(std::move(cluster));
+    }
+    return clusters;
+}
+
+std::vector<CbcCluster> cbc_cluster(
+    const std::vector<std::vector<double>>& series, const CbcOptions& options) {
+    return cbc_cluster_from_correlation(correlation_matrix(series), options);
+}
+
+}  // namespace atm::cluster

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+namespace atm::cluster {
+
+/// One correlation-based cluster: `head` is the rank-selected signature
+/// series and `members` its absorbed, strongly-correlated followers
+/// (member indices exclude the head; all indices refer to the input set).
+struct CbcCluster {
+    int head = -1;
+    std::vector<int> members;
+};
+
+/// Options for correlation-based clustering (CBC, Section III-A).
+struct CbcOptions {
+    /// Correlation threshold ρ_Th; the paper uses 0.7 ("a common threshold
+    /// value used to determine strong correlation").
+    double rho_threshold = 0.7;
+    /// When true, |ρ| is compared against the threshold so strongly
+    /// anti-correlated series also cluster (they fit linearly just as
+    /// well). The paper's description uses raw ρ; default follows it.
+    bool use_absolute = false;
+};
+
+/// The paper's proposed correlation-based clustering.
+///
+/// Procedure: (1) compute all pairwise Pearson correlations; (2) rank each
+/// series first by the number of correlations above ρ_Th, then by the mean
+/// of those above-threshold correlations; (3) repeatedly pop the topmost
+/// still-unclustered series as a new cluster head and absorb every
+/// remaining series correlated with it above ρ_Th; (4) stop when the ranked
+/// list is empty. Series with no strong correlations end as singleton
+/// clusters (their own signature).
+std::vector<CbcCluster> cbc_cluster(
+    const std::vector<std::vector<double>>& series,
+    const CbcOptions& options = {});
+
+/// Same algorithm over a precomputed correlation matrix (symmetric, unit
+/// diagonal). Useful when correlations are reused across analyses.
+std::vector<CbcCluster> cbc_cluster_from_correlation(
+    const std::vector<std::vector<double>>& rho,
+    const CbcOptions& options = {});
+
+/// Pairwise Pearson correlation matrix over a set of equal-length series.
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace atm::cluster

@@ -1,0 +1,106 @@
+#include "cluster/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace atm::cluster {
+
+double dtw_distance(std::span<const double> p, std::span<const double> q, int band) {
+    const std::size_t n = p.size();
+    const std::size_t m = q.size();
+    if (n == 0 && m == 0) return 0.0;
+    if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // Two-row rolling DP over λ(i, j); index 0 is the virtual λ(0, ·) row.
+    std::vector<double> prev(m + 1, kInf);
+    std::vector<double> curr(m + 1, kInf);
+    prev[0] = 0.0;
+
+    // Effective band half-width scaled for unequal lengths.
+    const double slope = n > 1 ? static_cast<double>(m) / static_cast<double>(n) : 1.0;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::fill(curr.begin(), curr.end(), kInf);
+        std::size_t j_lo = 1;
+        std::size_t j_hi = m;
+        if (band >= 0) {
+            const double center = slope * static_cast<double>(i);
+            const auto lo = static_cast<long long>(std::floor(center)) - band;
+            const auto hi = static_cast<long long>(std::ceil(center)) + band;
+            j_lo = static_cast<std::size_t>(std::max(1LL, lo));
+            j_hi = static_cast<std::size_t>(std::min(static_cast<long long>(m), hi));
+        }
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const double diff = p[i - 1] - q[j - 1];
+            const double d = diff * diff;
+            const double best =
+                std::min({prev[j - 1], prev[j], curr[j - 1]});
+            curr[j] = best == kInf ? kInf : d + best;
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q) {
+    DtwAlignment out;
+    const std::size_t n = p.size();
+    const std::size_t m = q.size();
+    if (n == 0 || m == 0) {
+        out.distance = (n == 0 && m == 0)
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity();
+        return out;
+    }
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // Full table with a virtual row/column of infinities; table[0][0] = 0.
+    std::vector<std::vector<double>> table(n + 1, std::vector<double>(m + 1, kInf));
+    table[0][0] = 0.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const double diff = p[i - 1] - q[j - 1];
+            table[i][j] = diff * diff + std::min({table[i - 1][j - 1],
+                                                  table[i - 1][j],
+                                                  table[i][j - 1]});
+        }
+    }
+    out.distance = table[n][m];
+
+    // Backtrack greedily along the minimal predecessor.
+    std::size_t i = n;
+    std::size_t j = m;
+    while (i >= 1 && j >= 1) {
+        out.path.emplace_back(i - 1, j - 1);
+        const double diag = table[i - 1][j - 1];
+        const double up = table[i - 1][j];
+        const double left = table[i][j - 1];
+        if (diag <= up && diag <= left) {
+            --i;
+            --j;
+        } else if (up <= left) {
+            --i;
+        } else {
+            --j;
+        }
+    }
+    std::reverse(out.path.begin(), out.path.end());
+    return out;
+}
+
+std::vector<std::vector<double>> dtw_distance_matrix(
+    const std::vector<std::vector<double>>& series, int band) {
+    const std::size_t n = series.size();
+    std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = dtw_distance(series[i], series[j], band);
+            dist[i][j] = d;
+            dist[j][i] = d;
+        }
+    }
+    return dist;
+}
+
+}  // namespace atm::cluster

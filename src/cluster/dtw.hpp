@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::cluster {
+
+/// Dynamic-time-warping dissimilarity between two series (Section III-A).
+///
+/// Implements the paper's recurrence exactly:
+///   λ(i,j) = d(p_i, q_j) + min{λ(i−1,j−1), λ(i−1,j), λ(i,j−1)}
+/// with squared pointwise distance d(p_i, q_j) = (p_i − q_j)².
+/// Returns λ(n, m), the cumulative cost of the optimal warping path.
+/// An empty series yields +infinity against a non-empty one and 0 against
+/// another empty one.
+///
+/// `band` restricts the warp to a Sakoe–Chiba band of half-width `band`
+/// around the diagonal (after length normalization); band < 0 (default)
+/// means unconstrained. Banding is an optimization the paper does not
+/// discuss; with band < 0 the result is the textbook DTW value.
+double dtw_distance(std::span<const double> p, std::span<const double> q,
+                    int band = -1);
+
+/// Pairwise DTW distance matrix over a set of series. Symmetric with a
+/// zero diagonal. O(n² · len²) — fine for per-box series counts (~20).
+std::vector<std::vector<double>> dtw_distance_matrix(
+    const std::vector<std::vector<double>>& series, int band = -1);
+
+/// Full DTW alignment: the optimal warping path as (i, j) index pairs
+/// (0-based, monotone, from (0, 0) to (n-1, m-1)) plus the cumulative
+/// cost λ(n, m). Uses O(n·m) memory for backtracking — intended for
+/// inspection/diagnostics, not the inner clustering loop. An empty input
+/// series yields an empty path with infinite (or zero, if both empty)
+/// distance.
+struct DtwAlignment {
+    std::vector<std::pair<std::size_t, std::size_t>> path;
+    double distance = 0.0;
+};
+DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q);
+
+}  // namespace atm::cluster

@@ -1,0 +1,118 @@
+#include "cluster/kmedoids.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace atm::cluster {
+namespace {
+
+void validate(const std::vector<std::vector<double>>& dist, int k) {
+    if (dist.empty()) throw std::invalid_argument("k_medoids: empty distance matrix");
+    for (const auto& row : dist) {
+        if (row.size() != dist.size()) {
+            throw std::invalid_argument("k_medoids: non-square distance matrix");
+        }
+    }
+    if (k < 1 || static_cast<std::size_t>(k) > dist.size()) {
+        throw std::invalid_argument("k_medoids: bad k");
+    }
+}
+
+/// Total cost of assigning every item to its closest medoid.
+double assignment_cost(const std::vector<std::vector<double>>& dist,
+                       const std::vector<int>& medoids,
+                       std::vector<int>* labels_out = nullptr) {
+    double total = 0.0;
+    if (labels_out != nullptr) labels_out->assign(dist.size(), 0);
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_c = 0;
+        for (std::size_t c = 0; c < medoids.size(); ++c) {
+            const double d = dist[i][static_cast<std::size_t>(medoids[c])];
+            if (d < best) {
+                best = d;
+                best_c = static_cast<int>(c);
+            }
+        }
+        total += best;
+        if (labels_out != nullptr) (*labels_out)[i] = best_c;
+    }
+    return total;
+}
+
+}  // namespace
+
+KMedoidsResult k_medoids(const std::vector<std::vector<double>>& dist, int k,
+                         int max_iter) {
+    validate(dist, k);
+    const std::size_t n = dist.size();
+
+    // BUILD: first medoid minimizes total distance; each next medoid
+    // maximizes the cost decrease.
+    std::vector<int> medoids;
+    std::vector<bool> is_medoid(n, false);
+    {
+        std::size_t best = 0;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            double cost = 0.0;
+            for (std::size_t j = 0; j < n; ++j) cost += dist[j][i];
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        medoids.push_back(static_cast<int>(best));
+        is_medoid[best] = true;
+    }
+    while (static_cast<int>(medoids.size()) < k) {
+        std::size_t best = n;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t cand = 0; cand < n; ++cand) {
+            if (is_medoid[cand]) continue;
+            std::vector<int> trial = medoids;
+            trial.push_back(static_cast<int>(cand));
+            const double cost = assignment_cost(dist, trial);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = cand;
+            }
+        }
+        medoids.push_back(static_cast<int>(best));
+        is_medoid[best] = true;
+    }
+
+    // SWAP: steepest-descent single exchanges.
+    double current = assignment_cost(dist, medoids);
+    for (int iter = 0; iter < max_iter; ++iter) {
+        double best_cost = current;
+        std::size_t best_m = 0;
+        std::size_t best_i = n;
+        for (std::size_t m = 0; m < medoids.size(); ++m) {
+            for (std::size_t i = 0; i < n; ++i) {
+                if (is_medoid[i]) continue;
+                std::vector<int> trial = medoids;
+                trial[m] = static_cast<int>(i);
+                const double cost = assignment_cost(dist, trial);
+                if (cost < best_cost - 1e-12) {
+                    best_cost = cost;
+                    best_m = m;
+                    best_i = i;
+                }
+            }
+        }
+        if (best_i == n) break;  // local optimum
+        is_medoid[static_cast<std::size_t>(medoids[best_m])] = false;
+        medoids[best_m] = static_cast<int>(best_i);
+        is_medoid[best_i] = true;
+        current = best_cost;
+    }
+
+    KMedoidsResult result;
+    result.medoids = medoids;
+    result.total_cost = assignment_cost(dist, medoids, &result.labels);
+    return result;
+}
+
+}  // namespace atm::cluster

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+namespace atm::cluster {
+
+/// K-medoids clustering (Partitioning Around Medoids, build + swap) over a
+/// precomputed symmetric distance matrix — an alternative step-1 grouping
+/// for the signature search. Unlike hierarchical clustering it directly
+/// optimizes the total item-to-medoid distance, and the medoids *are* the
+/// natural signature representatives.
+struct KMedoidsResult {
+    std::vector<int> medoids;  ///< item index of each cluster's medoid
+    std::vector<int> labels;   ///< cluster label per item (0..k-1)
+    double total_cost = 0.0;   ///< sum of item-to-own-medoid distances
+};
+
+/// Runs PAM: greedy BUILD initialization followed by SWAP iterations until
+/// no single medoid/non-medoid exchange improves the cost (or `max_iter`
+/// sweeps). Deterministic. Throws std::invalid_argument for an empty or
+/// non-square matrix or k outside [1, n].
+KMedoidsResult k_medoids(const std::vector<std::vector<double>>& dist, int k,
+                         int max_iter = 50);
+
+}  // namespace atm::cluster

@@ -1,0 +1,241 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace atm::core {
+namespace {
+
+/// Capacity of the VM+resource owning flat series index `flat`.
+double series_capacity(const trace::BoxTrace& box, std::size_t flat) {
+    const ts::SeriesId id = ts::SeriesId::from_flat(static_cast<int>(flat));
+    return box.vms[static_cast<std::size_t>(id.vm_index)].capacity(id.resource);
+}
+
+/// Resize policies evaluated for one resource kind, given the demand
+/// series the policy *sees* (predicted or actual) and the actual demands
+/// used for ticket accounting.
+void run_policies_for_kind(
+    const trace::BoxTrace& box, ts::ResourceKind kind,
+    const std::vector<std::vector<double>>& policy_demands,
+    const std::vector<std::vector<double>>& actual_demands,
+    const std::vector<double>& lower_bounds, double alpha, double epsilon_pct,
+    const std::vector<resize::ResizePolicy>& policies,
+    std::vector<PolicyTickets>& results) {
+    const std::size_t m = box.vms.size();
+
+    resize::ResizeInput input;
+    input.demands = policy_demands;
+    input.total_capacity = box.capacity(kind);
+    input.alpha = alpha;
+    input.lower_bounds = lower_bounds;
+    input.current_capacities.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        input.current_capacities[i] = box.vms[i].capacity(kind);
+    }
+    if (epsilon_pct > 0.0) {
+        input.epsilons.resize(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            input.epsilons[i] = epsilon_pct / 100.0 * box.vms[i].capacity(kind);
+        }
+    }
+
+    // Tickets before resizing: actual demands against current allocations.
+    int before = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        before += ticketing::count_demand_tickets(actual_demands[i],
+                                                  box.vms[i].capacity(kind), alpha);
+    }
+
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const resize::ResizeResult r = resize::apply_policy(policies[p], input);
+        const int after =
+            resize::tickets_for_allocation(actual_demands, r.capacities, alpha);
+        if (kind == ts::ResourceKind::kCpu) {
+            results[p].cpu_before = before;
+            results[p].cpu_after = after;
+        } else {
+            results[p].ram_before = before;
+            results[p].ram_after = after;
+        }
+    }
+}
+
+}  // namespace
+
+BoxPipelineResult run_pipeline_on_box(
+    const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
+    const std::vector<resize::ResizePolicy>& policies) {
+    if (box.vms.empty()) throw std::invalid_argument("run_pipeline_on_box: empty box");
+    const auto wpd = static_cast<std::size_t>(windows_per_day);
+    const std::size_t train_len = static_cast<std::size_t>(config.train_days) * wpd;
+    if (box.length() < train_len + wpd) {
+        throw std::invalid_argument("run_pipeline_on_box: trace too short for config");
+    }
+
+    const std::vector<std::vector<double>> demands = box.demand_matrix();
+    const std::vector<int> scope = scope_indices(demands.size(), config.scope);
+
+    std::vector<std::vector<double>> scoped_train;
+    scoped_train.reserve(scope.size());
+    for (int idx : scope) {
+        const auto& row = demands[static_cast<std::size_t>(idx)];
+        scoped_train.emplace_back(row.begin(),
+                                  row.begin() + static_cast<std::ptrdiff_t>(train_len));
+    }
+
+    BoxPipelineResult result;
+
+    // --- signature search + spatial model on the training window -----------
+    result.search = find_signatures(scoped_train, config.search);
+    SpatialModel spatial;
+    spatial.fit(scoped_train, result.search.signatures);
+
+    // --- temporal forecasts for the signature series -------------------------
+    std::vector<std::vector<double>> signature_forecasts;
+    signature_forecasts.reserve(spatial.signature_indices().size());
+    for (int s : spatial.signature_indices()) {
+        auto forecaster = forecast::make_forecaster(
+            config.temporal, windows_per_day,
+            config.seed + static_cast<unsigned>(s));
+        forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);
+        signature_forecasts.push_back(forecaster->forecast(windows_per_day));
+    }
+
+    // --- spatial reconstruction of every scoped series -----------------------
+    const std::vector<std::vector<double>> scoped_pred =
+        spatial.reconstruct(signature_forecasts);
+
+    // Predicted demands in the full flattened layout (unscoped rows empty).
+    result.predicted_demands.assign(demands.size(), {});
+    for (std::size_t k = 0; k < scope.size(); ++k) {
+        result.predicted_demands[static_cast<std::size_t>(scope[k])] = scoped_pred[k];
+    }
+
+    // --- prediction accuracy on the evaluation day ---------------------------
+    double ape_sum = 0.0;
+    std::size_t ape_count = 0;
+    double peak_sum = 0.0;
+    std::size_t peak_count = 0;
+    for (std::size_t k = 0; k < scope.size(); ++k) {
+        const auto flat = static_cast<std::size_t>(scope[k]);
+        const auto& actual_row = demands[flat];
+        const double cap = series_capacity(box, flat);
+        const double peak_level = config.alpha * cap;
+        const auto& pred = scoped_pred[k];
+        double series_sum = 0.0;
+        std::size_t series_n = 0;
+        for (std::size_t t = 0; t < wpd; ++t) {
+            const double actual = actual_row[train_len + t];
+            if (std::abs(actual) < 1e-9) continue;
+            const double err = std::abs(actual - pred[t]) / std::abs(actual);
+            series_sum += err;
+            ++series_n;
+            if (actual > peak_level) {
+                peak_sum += err;
+                ++peak_count;
+            }
+        }
+        if (series_n > 0) {
+            ape_sum += series_sum / static_cast<double>(series_n);
+            ++ape_count;
+        }
+    }
+    result.ape_all = ape_count > 0 ? ape_sum / static_cast<double>(ape_count) : 0.0;
+    result.ape_peak = peak_count > 0 ? peak_sum / static_cast<double>(peak_count) : 0.0;
+
+    // --- resizing for the evaluation day -------------------------------------
+    if (policies.empty()) return result;
+    result.policies.resize(policies.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        result.policies[p].policy = policies[p];
+    }
+
+    const std::size_t m = box.vms.size();
+    for (ts::ResourceKind kind : {ts::ResourceKind::kCpu, ts::ResourceKind::kRam}) {
+        // Skip resources excluded from the model scope.
+        const bool in_scope =
+            config.scope == ResourceScope::kInter ||
+            (config.scope == ResourceScope::kIntraCpu && kind == ts::ResourceKind::kCpu) ||
+            (config.scope == ResourceScope::kIntraRam && kind == ts::ResourceKind::kRam);
+        if (!in_scope) continue;
+
+        std::vector<std::vector<double>> policy_demands(m);
+        std::vector<std::vector<double>> actual_eval(m);
+        std::vector<double> lower_bounds;
+        for (std::size_t i = 0; i < m; ++i) {
+            const auto flat = static_cast<std::size_t>(
+                ts::SeriesId{static_cast<int>(i), kind}.flat_index());
+            policy_demands[i] = result.predicted_demands[flat];
+            const auto& row = demands[flat];
+            actual_eval[i].assign(
+                row.begin() + static_cast<std::ptrdiff_t>(train_len),
+                row.begin() + static_cast<std::ptrdiff_t>(train_len + wpd));
+        }
+        if (config.use_lower_bounds) {
+            lower_bounds.resize(m);
+            for (std::size_t i = 0; i < m; ++i) {
+                const auto flat = static_cast<std::size_t>(
+                    ts::SeriesId{static_cast<int>(i), kind}.flat_index());
+                const auto& row = demands[flat];
+                lower_bounds[i] = *std::max_element(
+                    row.begin() + static_cast<std::ptrdiff_t>(train_len - wpd),
+                    row.begin() + static_cast<std::ptrdiff_t>(train_len));
+            }
+        }
+        run_policies_for_kind(box, kind, policy_demands, actual_eval, lower_bounds,
+                              config.alpha, config.epsilon_pct, policies,
+                              result.policies);
+    }
+    return result;
+}
+
+std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
+    const trace::BoxTrace& box, int windows_per_day, int day, double alpha,
+    double epsilon_pct, const std::vector<resize::ResizePolicy>& policies,
+    bool use_lower_bounds) {
+    if (box.vms.empty()) {
+        throw std::invalid_argument("evaluate_resize_policies_on_actuals: empty box");
+    }
+    const auto wpd = static_cast<std::size_t>(windows_per_day);
+    const std::size_t first = static_cast<std::size_t>(day) * wpd;
+    if (box.length() < first + wpd) {
+        throw std::invalid_argument("evaluate_resize_policies_on_actuals: day out of range");
+    }
+
+    const std::vector<std::vector<double>> demands = box.demand_matrix();
+    std::vector<PolicyTickets> results(policies.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) results[p].policy = policies[p];
+
+    const std::size_t m = box.vms.size();
+    for (ts::ResourceKind kind : {ts::ResourceKind::kCpu, ts::ResourceKind::kRam}) {
+        std::vector<std::vector<double>> day_demands(m);
+        std::vector<double> lower_bounds;
+        for (std::size_t i = 0; i < m; ++i) {
+            const auto flat = static_cast<std::size_t>(
+                ts::SeriesId{static_cast<int>(i), kind}.flat_index());
+            const auto& row = demands[flat];
+            day_demands[i].assign(row.begin() + static_cast<std::ptrdiff_t>(first),
+                                  row.begin() + static_cast<std::ptrdiff_t>(first + wpd));
+        }
+        if (use_lower_bounds && day > 0) {
+            lower_bounds.resize(m);
+            for (std::size_t i = 0; i < m; ++i) {
+                const auto flat = static_cast<std::size_t>(
+                    ts::SeriesId{static_cast<int>(i), kind}.flat_index());
+                const auto& row = demands[flat];
+                lower_bounds[i] = *std::max_element(
+                    row.begin() + static_cast<std::ptrdiff_t>(first - wpd),
+                    row.begin() + static_cast<std::ptrdiff_t>(first));
+            }
+        }
+        run_policies_for_kind(box, kind, day_demands, day_demands, lower_bounds,
+                              alpha, epsilon_pct, policies, results);
+    }
+    return results;
+}
+
+}  // namespace atm::core

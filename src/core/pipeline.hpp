@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "core/signature_search.hpp"
+#include "core/spatial_model.hpp"
+#include "forecast/forecaster.hpp"
+#include "resize/policies.hpp"
+#include "ticketing/tickets.hpp"
+#include "tracegen/trace.hpp"
+
+namespace atm::core {
+
+/// Configuration of the full ATM pipeline (Section V-A): train the
+/// spatial + temporal models on `train_days` of history, predict the next
+/// day, and resize every box's VMs for that day.
+struct PipelineConfig {
+    SignatureSearchOptions search;
+    forecast::TemporalModel temporal = forecast::TemporalModel::kNeuralNetwork;
+    /// Days of history used for signature search / model training.
+    int train_days = 5;
+    /// Ticket threshold as a fraction (usage tickets at 60%).
+    double alpha = 0.6;
+    /// Discretization factor epsilon, in *percent of each VM's current
+    /// capacity*: predicted demands are rounded up to multiples of
+    /// (epsilon_pct/100) x capacity before resizing. The paper's eps = 5
+    /// on percent-scaled demands corresponds to epsilon_pct = 5. <= 0
+    /// disables discretization.
+    double epsilon_pct = 5.0;
+    /// Enforce per-VM capacity lower bounds = peak demand over the last
+    /// training day (Section IV-A1: no spillover of unfinished demand).
+    bool use_lower_bounds = true;
+    /// Restrict the model to a resource subset (Fig. 7 ablation).
+    ResourceScope scope = ResourceScope::kInter;
+    unsigned seed = 42;
+};
+
+/// Ticket outcome of one policy on one box for one resource.
+struct PolicyTickets {
+    resize::ResizePolicy policy = resize::ResizePolicy::kAtmGreedy;
+    int cpu_before = 0;
+    int cpu_after = 0;
+    int ram_before = 0;
+    int ram_after = 0;
+
+    /// Signed reduction percentage; 0 when there were no tickets before.
+    [[nodiscard]] double cpu_reduction_pct() const {
+        return cpu_before == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(cpu_before - cpu_after) / cpu_before;
+    }
+    [[nodiscard]] double ram_reduction_pct() const {
+        return ram_before == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(ram_before - ram_after) / ram_before;
+    }
+};
+
+/// Full per-box pipeline outcome.
+struct BoxPipelineResult {
+    SignatureSearchResult search;
+    /// Mean fractional APE of the predicted demand of every series on the
+    /// evaluation day (Fig. 9 "All").
+    double ape_all = 0.0;
+    /// Mean fractional APE restricted to windows whose *actual* usage
+    /// exceeds the ticket threshold (Fig. 9 "Peak"); 0 if no such window.
+    double ape_peak = 0.0;
+    /// Predicted demand matrix for the evaluation day (flattened VM-major
+    /// layout, same as BoxTrace::demand_matrix).
+    std::vector<std::vector<double>> predicted_demands;
+    /// One entry per evaluated policy.
+    std::vector<PolicyTickets> policies;
+};
+
+/// Runs the full ATM pipeline on one box: signature search + spatial model
+/// on the training window, temporal forecasts for signatures, spatial
+/// reconstruction for dependents, then VM resizing for the evaluation day
+/// under each of `policies`. Prediction-driven policies decide capacities
+/// from the *predicted* demands; tickets before/after are both counted on
+/// the *actual* evaluation-day demands.
+BoxPipelineResult run_pipeline_on_box(
+    const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
+    const std::vector<resize::ResizePolicy>& policies = {
+        resize::ResizePolicy::kAtmGreedy});
+
+/// Fig. 8 study: resizing with *perfect* demand knowledge — policies see
+/// the actual demands of evaluation day `day` (no prediction). Returns
+/// one PolicyTickets per policy.
+std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
+    const trace::BoxTrace& box, int windows_per_day, int day, double alpha,
+    double epsilon_pct, const std::vector<resize::ResizePolicy>& policies,
+    bool use_lower_bounds = true);
+
+}  // namespace atm::core

@@ -1,0 +1,74 @@
+#include "core/rolling.hpp"
+
+#include <stdexcept>
+
+namespace atm::core {
+
+long RollingResult::total_before() const {
+    long total = 0;
+    for (const RollingDayResult& d : days) total += d.cpu_before + d.ram_before;
+    return total;
+}
+
+long RollingResult::total_after() const {
+    long total = 0;
+    for (const RollingDayResult& d : days) total += d.cpu_after + d.ram_after;
+    return total;
+}
+
+double RollingResult::mean_ape() const {
+    if (days.empty()) return 0.0;
+    double acc = 0.0;
+    for (const RollingDayResult& d : days) acc += d.ape_all;
+    return acc / static_cast<double>(days.size());
+}
+
+RollingResult run_rolling_pipeline(const trace::BoxTrace& box,
+                                   int windows_per_day, int num_days,
+                                   const PipelineConfig& config) {
+    if (num_days * windows_per_day >
+        static_cast<int>(box.length())) {
+        throw std::invalid_argument("run_rolling_pipeline: trace shorter than num_days");
+    }
+    if (config.train_days < 1 || config.train_days >= num_days) {
+        throw std::invalid_argument("run_rolling_pipeline: bad train_days");
+    }
+
+    RollingResult result;
+    const auto wpd = static_cast<std::size_t>(windows_per_day);
+
+    for (int day = config.train_days; day < num_days; ++day) {
+        // Build a per-day view: a copy of the box whose series are the
+        // sliding window [day - train_days, day] (training + target day).
+        trace::BoxTrace window = box;
+        const std::size_t first =
+            static_cast<std::size_t>(day - config.train_days) * wpd;
+        const std::size_t count =
+            static_cast<std::size_t>(config.train_days + 1) * wpd;
+        for (trace::VmTrace& vm : window.vms) {
+            vm.cpu_usage_pct = vm.cpu_usage_pct.slice(first, count);
+            vm.ram_usage_pct = vm.ram_usage_pct.slice(first, count);
+            vm.cpu_demand_ghz = vm.cpu_demand_ghz.slice(first, count);
+            vm.ram_demand_gb = vm.ram_demand_gb.slice(first, count);
+        }
+
+        const BoxPipelineResult day_result = run_pipeline_on_box(
+            window, windows_per_day, config, {resize::ResizePolicy::kAtmGreedy});
+
+        RollingDayResult r;
+        r.day = day;
+        r.ape_all = day_result.ape_all;
+        r.ape_peak = day_result.ape_peak;
+        r.num_signatures = static_cast<int>(day_result.search.signatures.size());
+        if (!day_result.policies.empty()) {
+            r.cpu_before = day_result.policies[0].cpu_before;
+            r.cpu_after = day_result.policies[0].cpu_after;
+            r.ram_before = day_result.policies[0].ram_before;
+            r.ram_after = day_result.policies[0].ram_after;
+        }
+        result.days.push_back(r);
+    }
+    return result;
+}
+
+}  // namespace atm::core

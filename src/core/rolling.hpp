@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace atm::core {
+
+/// One evaluated day of the rolling (online) pipeline.
+struct RollingDayResult {
+    int day = 0;  ///< trace day index that was predicted & resized
+    double ape_all = 0.0;
+    double ape_peak = 0.0;
+    int cpu_before = 0;
+    int cpu_after = 0;
+    int ram_before = 0;
+    int ram_after = 0;
+    /// Signature-set size chosen from that day's training window.
+    int num_signatures = 0;
+};
+
+/// Aggregate outcome of a rolling run on one box.
+struct RollingResult {
+    std::vector<RollingDayResult> days;
+    [[nodiscard]] long total_before() const;
+    [[nodiscard]] long total_after() const;
+    [[nodiscard]] double mean_ape() const;
+};
+
+/// The paper's stated future work ("use ATM's prediction abilities to
+/// drive online dynamic workload management"): a walk-forward loop that,
+/// for every day d in [train_days, num_days), retrains the signature
+/// search + spatial + temporal models on the `train_days` window ending
+/// at d, predicts day d, resizes with the ATM greedy, and counts tickets
+/// on the actual demands of day d. Each day's resizing is independent
+/// (capacity decisions do not carry over — the trace's usage was recorded
+/// under the original allocations, so compounding them would be
+/// counterfactual).
+RollingResult run_rolling_pipeline(const trace::BoxTrace& box,
+                                   int windows_per_day, int num_days,
+                                   const PipelineConfig& config);
+
+}  // namespace atm::core

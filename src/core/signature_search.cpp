@@ -1,0 +1,97 @@
+#include "core/signature_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/dtw.hpp"
+#include "linalg/ols.hpp"
+#include "timeseries/resource.hpp"
+
+namespace atm::core {
+namespace {
+
+void validate(const std::vector<std::vector<double>>& series) {
+    if (series.empty()) {
+        throw std::invalid_argument("find_signatures: no series");
+    }
+    for (const auto& s : series) {
+        if (s.size() != series.front().size()) {
+            throw std::invalid_argument("find_signatures: ragged series lengths");
+        }
+        if (s.empty()) {
+            throw std::invalid_argument("find_signatures: empty series");
+        }
+    }
+}
+
+}  // namespace
+
+SignatureSearchResult find_signatures(
+    const std::vector<std::vector<double>>& series,
+    const SignatureSearchOptions& options) {
+    validate(series);
+    const int n = static_cast<int>(series.size());
+
+    SignatureSearchResult result;
+
+    // ---- Step 1: time-series clustering -------------------------------------
+    if (n == 1) {
+        result.initial_signatures = {0};
+        result.num_clusters = 1;
+    } else if (options.method == ClusteringMethod::kDtw) {
+        const auto dist = cluster::dtw_distance_matrix(series, options.dtw_band);
+        // k in [2, n/2] per the paper ("we aim to reduce the original set to
+        // at least its half"); n < 4 degenerates to k = 2.
+        const int k_max = std::max(2, n / 2);
+        const cluster::BestClustering best =
+            cluster::cluster_best_k(dist, 2, k_max, options.linkage);
+        result.num_clusters = best.num_clusters;
+        result.silhouette = best.silhouette;
+        result.initial_signatures = cluster::cluster_medoids(dist, best.labels);
+    } else {
+        cluster::CbcOptions cbc_options;
+        cbc_options.rho_threshold = options.rho_threshold;
+        const std::vector<cluster::CbcCluster> clusters =
+            cluster::cbc_cluster(series, cbc_options);
+        result.num_clusters = static_cast<int>(clusters.size());
+        result.initial_signatures.reserve(clusters.size());
+        for (const cluster::CbcCluster& c : clusters) {
+            result.initial_signatures.push_back(c.head);
+        }
+    }
+    std::sort(result.initial_signatures.begin(), result.initial_signatures.end());
+
+    // ---- Step 2: multicollinearity removal ----------------------------------
+    if (!options.apply_stepwise || result.initial_signatures.size() < 2) {
+        result.signatures = result.initial_signatures;
+        return result;
+    }
+    std::vector<std::vector<double>> sig_series;
+    sig_series.reserve(result.initial_signatures.size());
+    for (int idx : result.initial_signatures) {
+        sig_series.push_back(series[static_cast<std::size_t>(idx)]);
+    }
+    const std::vector<std::size_t> kept =
+        la::reduce_multicollinearity(sig_series, options.vif_threshold);
+    result.signatures.reserve(kept.size());
+    for (std::size_t k : kept) {
+        result.signatures.push_back(result.initial_signatures[k]);
+    }
+    return result;
+}
+
+std::vector<int> scope_indices(std::size_t total_series, ResourceScope scope) {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < total_series; ++i) {
+        const auto kind = static_cast<ts::ResourceKind>(i % ts::kNumResources);
+        const bool keep = scope == ResourceScope::kInter ||
+                          (scope == ResourceScope::kIntraCpu &&
+                           kind == ts::ResourceKind::kCpu) ||
+                          (scope == ResourceScope::kIntraRam &&
+                           kind == ts::ResourceKind::kRam);
+        if (keep) out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+}  // namespace atm::core

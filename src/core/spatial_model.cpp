@@ -1,0 +1,97 @@
+#include "core/spatial_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace atm::core {
+
+void SpatialModel::fit(const std::vector<std::vector<double>>& series,
+                       const std::vector<int>& signature_indices) {
+    if (series.empty()) throw std::invalid_argument("SpatialModel::fit: no series");
+    for (const auto& s : series) {
+        if (s.size() != series.front().size()) {
+            throw std::invalid_argument("SpatialModel::fit: ragged series");
+        }
+    }
+    if (signature_indices.empty()) {
+        throw std::invalid_argument("SpatialModel::fit: empty signature set");
+    }
+    for (int idx : signature_indices) {
+        if (idx < 0 || static_cast<std::size_t>(idx) >= series.size()) {
+            throw std::invalid_argument("SpatialModel::fit: signature index out of range");
+        }
+    }
+
+    total_series_ = series.size();
+    signature_indices_ = signature_indices;
+    std::sort(signature_indices_.begin(), signature_indices_.end());
+
+    dependent_indices_.clear();
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (!std::binary_search(signature_indices_.begin(), signature_indices_.end(),
+                                static_cast<int>(i))) {
+            dependent_indices_.push_back(static_cast<int>(i));
+        }
+    }
+
+    std::vector<std::vector<double>> predictors;
+    predictors.reserve(signature_indices_.size());
+    for (int idx : signature_indices_) {
+        predictors.push_back(series[static_cast<std::size_t>(idx)]);
+    }
+
+    fits_.clear();
+    dependent_fit_ape_.clear();
+    fits_.reserve(dependent_indices_.size());
+    dependent_fit_ape_.reserve(dependent_indices_.size());
+    for (int dep : dependent_indices_) {
+        const auto& y = series[static_cast<std::size_t>(dep)];
+        la::OlsFit fit = la::ols_fit(y, predictors);
+        dependent_fit_ape_.push_back(
+            ts::mean_absolute_percentage_error(y, fit.fitted));
+        // Fitted/residual vectors are per-training-window and only needed
+        // for the APE above; drop them to keep per-box memory flat.
+        fit.fitted.clear();
+        fit.fitted.shrink_to_fit();
+        fit.residuals.clear();
+        fit.residuals.shrink_to_fit();
+        fits_.push_back(std::move(fit));
+    }
+}
+
+std::vector<std::vector<double>> SpatialModel::reconstruct(
+    const std::vector<std::vector<double>>& signature_values) const {
+    if (!fitted()) throw std::logic_error("SpatialModel::reconstruct before fit");
+    if (signature_values.size() != signature_indices_.size()) {
+        throw std::invalid_argument("SpatialModel::reconstruct: signature count mismatch");
+    }
+    const std::size_t horizon =
+        signature_values.empty() ? 0 : signature_values.front().size();
+    for (const auto& s : signature_values) {
+        if (s.size() != horizon) {
+            throw std::invalid_argument("SpatialModel::reconstruct: ragged horizons");
+        }
+    }
+
+    std::vector<std::vector<double>> out(total_series_,
+                                         std::vector<double>(horizon, 0.0));
+    for (std::size_t s = 0; s < signature_indices_.size(); ++s) {
+        out[static_cast<std::size_t>(signature_indices_[s])] = signature_values[s];
+    }
+    std::vector<double> at_t(signature_indices_.size());
+    for (std::size_t d = 0; d < dependent_indices_.size(); ++d) {
+        auto& row = out[static_cast<std::size_t>(dependent_indices_[d])];
+        for (std::size_t t = 0; t < horizon; ++t) {
+            for (std::size_t s = 0; s < signature_values.size(); ++s) {
+                at_t[s] = signature_values[s][t];
+            }
+            // Demand cannot be negative; clamp the linear extrapolation.
+            row[t] = std::max(0.0, fits_[d].predict(at_t));
+        }
+    }
+    return out;
+}
+
+}  // namespace atm::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/ols.hpp"
+
+namespace atm::core {
+
+/// The spatial prediction model of Section III-B: every dependent series
+/// is an OLS linear combination (Eq. 1) of the signature series.
+///
+/// Fit on the training window; then any realization of the signature
+/// series — actual values (Section III-C evaluation) or temporal-model
+/// forecasts (full ATM, Section V) — reconstructs all dependent series.
+class SpatialModel {
+  public:
+    SpatialModel() = default;
+
+    /// Fits one regression per dependent series.
+    ///
+    /// `series` is the full per-box series set over the training window;
+    /// `signature_indices` selects the predictors. Every non-signature
+    /// index becomes a dependent series. Throws std::invalid_argument on
+    /// ragged input or an empty/out-of-range signature set.
+    void fit(const std::vector<std::vector<double>>& series,
+             const std::vector<int>& signature_indices);
+
+    /// Reconstructs the full series set from signature realizations.
+    ///
+    /// `signature_values[s][t]` is the value of the s-th signature (in the
+    /// order passed to fit) at time t. Returns a matrix with the same
+    /// series count and index layout as the fit input: signature rows are
+    /// copied through verbatim, dependent rows come from their regressions.
+    [[nodiscard]] std::vector<std::vector<double>> reconstruct(
+        const std::vector<std::vector<double>>& signature_values) const;
+
+    [[nodiscard]] const std::vector<int>& signature_indices() const {
+        return signature_indices_;
+    }
+    [[nodiscard]] const std::vector<int>& dependent_indices() const {
+        return dependent_indices_;
+    }
+
+    /// Fit (in-sample) of dependent series as fractional mean APE values,
+    /// one per dependent series, in dependent_indices() order — the
+    /// Section III-C "prediction error" of the spatial model alone.
+    [[nodiscard]] const std::vector<double>& dependent_fit_ape() const {
+        return dependent_fit_ape_;
+    }
+
+    [[nodiscard]] bool fitted() const { return !signature_indices_.empty(); }
+
+  private:
+    std::vector<int> signature_indices_;
+    std::vector<int> dependent_indices_;
+    std::vector<la::OlsFit> fits_;  // one per dependent, same order
+    std::vector<double> dependent_fit_ape_;
+    std::size_t total_series_ = 0;
+};
+
+}  // namespace atm::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace atm::forecast {
+
+/// Autoregressive AR(p) forecaster fit by ordinary least squares, with an
+/// optional extra seasonal lag term (value one season back), i.e.
+///   x_t = c + Σ_{k=1..p} φ_k x_{t−k} [+ φ_s x_{t−period}] + ε_t.
+///
+/// Multi-step forecasts are produced by iterating one-step predictions and
+/// feeding them back as inputs. This stands in for the classical "temporal
+/// models such as ARIMA" the paper contrasts against (Section III): cheap,
+/// good on smooth seasonal series, weaker on bursts.
+class ArForecaster final : public Forecaster {
+  public:
+    /// `order` = p (number of consecutive lags, >= 1); `seasonal_period`
+    /// adds one seasonal lag when > 0.
+    explicit ArForecaster(int order, int seasonal_period = 0);
+
+    void fit(std::span<const double> history) override;
+    [[nodiscard]] std::vector<double> forecast(int horizon) const override;
+    [[nodiscard]] std::string name() const override { return "ar"; }
+
+    /// Fitted coefficients: intercept, then φ_1..φ_p, then (if seasonal)
+    /// φ_s. Empty before fit.
+    [[nodiscard]] const std::vector<double>& coefficients() const {
+        return coefficients_;
+    }
+
+  private:
+    int order_;
+    int seasonal_period_;
+    std::vector<double> coefficients_;
+    std::vector<double> history_;
+};
+
+}  // namespace atm::forecast

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace atm::forecast {
+
+/// One rolling-origin evaluation fold.
+struct BacktestFold {
+    std::size_t origin = 0;  ///< history length used for this fold
+    double mape = 0.0;       ///< fractional APE over the fold's horizon
+    double rmse = 0.0;
+    double peak_mape = 0.0;  ///< APE restricted to the top-decile actuals
+};
+
+/// Result of backtesting one model on one series.
+struct BacktestResult {
+    std::string model;
+    std::vector<BacktestFold> folds;
+    double mean_mape = 0.0;
+    double mean_rmse = 0.0;
+    double mean_peak_mape = 0.0;
+};
+
+/// Rolling-origin (walk-forward) backtest: for each fold, fit on
+/// [0, origin) and forecast `horizon` samples; origins advance by
+/// `step` from `min_history` until the horizon no longer fits. The
+/// standard protocol for honest forecast-accuracy measurement — no fold
+/// ever sees its own future.
+///
+/// `factory` must return a fresh Forecaster per call (fits are stateful).
+/// Throws std::invalid_argument when no fold fits the series.
+BacktestResult backtest(const std::vector<double>& series,
+                        const std::function<std::unique_ptr<Forecaster>()>& factory,
+                        std::size_t min_history, int horizon,
+                        std::size_t step);
+
+/// Backtests every built-in TemporalModel on the series and returns the
+/// results sorted by mean MAPE (best first).
+std::vector<BacktestResult> compare_models(const std::vector<double>& series,
+                                           int seasonal_period,
+                                           std::size_t min_history,
+                                           int horizon, std::size_t step,
+                                           unsigned seed = 42);
+
+}  // namespace atm::forecast

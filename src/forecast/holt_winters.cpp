@@ -1,0 +1,118 @@
+#include "forecast/holt_winters.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace atm::forecast {
+
+HoltWintersForecaster::HoltWintersForecaster(int period,
+                                             HoltWintersOptions options)
+    : period_(period), options_(options) {
+    if (period < 2) {
+        throw std::invalid_argument("HoltWintersForecaster: period must be >= 2");
+    }
+    if (options.alpha <= 0.0 || options.alpha >= 1.0 || options.beta < 0.0 ||
+        options.beta >= 1.0 || options.gamma <= 0.0 || options.gamma >= 1.0) {
+        throw std::invalid_argument("HoltWintersForecaster: smoothing out of range");
+    }
+}
+
+void HoltWintersForecaster::fit(std::span<const double> history) {
+    if (history.empty()) {
+        throw std::invalid_argument("HoltWintersForecaster::fit: empty history");
+    }
+    const auto m = static_cast<std::size_t>(period_);
+    fit_called_ = true;
+    fallback_ = history.back();
+    if (history.size() < 2 * m) {
+        fitted_ = false;  // not enough data for seasonal initialization
+        return;
+    }
+
+    // Initialization: level = mean of season 1; trend = mean per-sample
+    // change between season 1 and season 2; seasonal indices = first-season
+    // deviations from its mean.
+    double s1 = 0.0;
+    double s2 = 0.0;
+    for (std::size_t t = 0; t < m; ++t) {
+        s1 += history[t];
+        s2 += history[m + t];
+    }
+    s1 /= static_cast<double>(m);
+    s2 /= static_cast<double>(m);
+    level_ = s1;
+    trend_ = (s2 - s1) / static_cast<double>(m);
+    season_.assign(m, 0.0);
+    for (std::size_t t = 0; t < m; ++t) season_[t] = history[t] - s1;
+
+    for (std::size_t t = m; t < history.size(); ++t) {
+        const std::size_t phase = t % m;
+        const double prev_level = level_;
+        level_ = options_.alpha * (history[t] - season_[phase]) +
+                 (1.0 - options_.alpha) * (level_ + trend_);
+        trend_ = options_.beta * (level_ - prev_level) +
+                 (1.0 - options_.beta) * trend_;
+        season_[phase] = options_.gamma * (history[t] - level_) +
+                         (1.0 - options_.gamma) * season_[phase];
+    }
+    // Phase bookkeeping for forecasting: the next sample after the history
+    // has phase history.size() % m.
+    // Rotate so season_[h % m] is the index for horizon step h.
+    std::vector<double> rotated(m);
+    for (std::size_t h = 0; h < m; ++h) {
+        rotated[h] = season_[(history.size() + h) % m];
+    }
+    season_ = std::move(rotated);
+    fitted_ = true;
+}
+
+std::vector<double> HoltWintersForecaster::forecast(int horizon) const {
+    if (!fit_called_) {
+        throw std::logic_error("HoltWintersForecaster::forecast before fit");
+    }
+    std::vector<double> out;
+    out.reserve(static_cast<std::size_t>(std::max(horizon, 0)));
+    if (!fitted_) {
+        out.assign(static_cast<std::size_t>(std::max(horizon, 0)), fallback_);
+        return out;
+    }
+    double damped_trend_sum = 0.0;
+    double damp = 1.0;
+    for (int h = 0; h < horizon; ++h) {
+        damp *= options_.trend_damping;
+        damped_trend_sum += trend_ * damp;
+        const std::size_t phase =
+            static_cast<std::size_t>(h) % season_.size();
+        out.push_back(level_ + damped_trend_sum + season_[phase]);
+    }
+    return out;
+}
+
+EnsembleForecaster::EnsembleForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members)
+    : members_(std::move(members)) {
+    if (members_.empty()) {
+        throw std::invalid_argument("EnsembleForecaster: no members");
+    }
+    for (const auto& m : members_) {
+        if (m == nullptr) {
+            throw std::invalid_argument("EnsembleForecaster: null member");
+        }
+    }
+}
+
+void EnsembleForecaster::fit(std::span<const double> history) {
+    for (auto& m : members_) m->fit(history);
+}
+
+std::vector<double> EnsembleForecaster::forecast(int horizon) const {
+    std::vector<double> acc(static_cast<std::size_t>(std::max(horizon, 0)), 0.0);
+    for (const auto& m : members_) {
+        const std::vector<double> f = m->forecast(horizon);
+        for (std::size_t t = 0; t < acc.size(); ++t) acc[t] += f[t];
+    }
+    for (double& v : acc) v /= static_cast<double>(members_.size());
+    return acc;
+}
+
+}  // namespace atm::forecast

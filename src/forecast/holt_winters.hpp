@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace atm::forecast {
+
+/// Holt-Winters additive triple exponential smoothing:
+///   level_t  = alpha (x_t − season_{t−m}) + (1−alpha)(level_{t−1} + trend_{t−1})
+///   trend_t  = beta (level_t − level_{t−1}) + (1−beta) trend_{t−1}
+///   season_t = gamma (x_t − level_t) + (1−gamma) season_{t−m}
+/// with forecasts level + h·trend + season. The classical statistical
+/// workhorse for strongly seasonal series; cheaper than the MLP and more
+/// adaptive than AR(p) — a natural middle entry for the forecaster
+/// ablation.
+struct HoltWintersOptions {
+    double alpha = 0.25;  ///< level smoothing in (0, 1)
+    double beta = 0.02;   ///< trend smoothing in [0, 1)
+    double gamma = 0.25;  ///< seasonal smoothing in (0, 1)
+    /// Damping on the trend during multi-step forecasts; < 1 keeps long
+    /// horizons from running away on noisy data-center series.
+    double trend_damping = 0.9;
+};
+
+class HoltWintersForecaster final : public Forecaster {
+  public:
+    /// `period` = season length in samples (96 for daily / 15-minute).
+    explicit HoltWintersForecaster(int period, HoltWintersOptions options = {});
+
+    void fit(std::span<const double> history) override;
+    [[nodiscard]] std::vector<double> forecast(int horizon) const override;
+    [[nodiscard]] std::string name() const override { return "holt-winters"; }
+
+  private:
+    int period_;
+    HoltWintersOptions options_;
+    double level_ = 0.0;
+    double trend_ = 0.0;
+    std::vector<double> season_;
+    bool fit_called_ = false;
+    bool fitted_ = false;    ///< seasonal state initialized (enough history)
+    double fallback_ = 0.0;  ///< short histories: predict last value
+};
+
+/// Averages the forecasts of several independently fitted models. Simple
+/// forecast combination is a strong robustness baseline: it rarely beats
+/// the best member but reliably avoids the worst one.
+class EnsembleForecaster final : public Forecaster {
+  public:
+    explicit EnsembleForecaster(std::vector<std::unique_ptr<Forecaster>> members);
+
+    void fit(std::span<const double> history) override;
+    [[nodiscard]] std::vector<double> forecast(int horizon) const override;
+    [[nodiscard]] std::string name() const override { return "ensemble"; }
+
+  private:
+    std::vector<std::unique_ptr<Forecaster>> members_;
+};
+
+}  // namespace atm::forecast

@@ -1,0 +1,208 @@
+#include "forecast/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace atm::forecast {
+
+MlpNetwork::MlpNetwork(std::vector<int> layer_sizes, Activation activation,
+                       unsigned seed)
+    : layer_sizes_(std::move(layer_sizes)), activation_(activation), rng_(seed) {
+    if (layer_sizes_.size() < 2) {
+        throw std::invalid_argument("MlpNetwork: need at least input and output layer");
+    }
+    if (layer_sizes_.back() != 1) {
+        throw std::invalid_argument("MlpNetwork: output layer must have size 1");
+    }
+    for (int s : layer_sizes_) {
+        if (s < 1) throw std::invalid_argument("MlpNetwork: layer size must be >= 1");
+    }
+    layers_.resize(layer_sizes_.size() - 1);
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const int fan_in = layer_sizes_[l];
+        const int fan_out = layer_sizes_[l + 1];
+        const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+        std::uniform_real_distribution<double> dist(-limit, limit);
+        Layer& layer = layers_[l];
+        layer.weights.assign(static_cast<std::size_t>(fan_out),
+                             std::vector<double>(static_cast<std::size_t>(fan_in)));
+        layer.biases.assign(static_cast<std::size_t>(fan_out), 0.0);
+        layer.weight_velocity.assign(static_cast<std::size_t>(fan_out),
+                                     std::vector<double>(static_cast<std::size_t>(fan_in), 0.0));
+        layer.bias_velocity.assign(static_cast<std::size_t>(fan_out), 0.0);
+        for (auto& row : layer.weights) {
+            for (double& w : row) w = dist(rng_);
+        }
+    }
+}
+
+double MlpNetwork::activate(double x) const {
+    switch (activation_) {
+        case Activation::kTanh: return std::tanh(x);
+        case Activation::kRelu: return x > 0.0 ? x : 0.0;
+        case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-x));
+    }
+    return x;
+}
+
+double MlpNetwork::activate_grad(double activated, double pre) const {
+    switch (activation_) {
+        case Activation::kTanh: return 1.0 - activated * activated;
+        case Activation::kRelu: return pre > 0.0 ? 1.0 : 0.0;
+        case Activation::kSigmoid: return activated * (1.0 - activated);
+    }
+    return 1.0;
+}
+
+void MlpNetwork::forward(std::span<const double> inputs,
+                         std::vector<std::vector<double>>& activations,
+                         std::vector<std::vector<double>>& pre_activations) const {
+    activations.assign(layers_.size() + 1, {});
+    pre_activations.assign(layers_.size(), {});
+    activations[0].assign(inputs.begin(), inputs.end());
+
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const Layer& layer = layers_[l];
+        const std::vector<double>& in = activations[l];
+        const bool is_output = l + 1 == layers_.size();
+        std::vector<double>& pre = pre_activations[l];
+        std::vector<double>& out = activations[l + 1];
+        pre.resize(layer.weights.size());
+        out.resize(layer.weights.size());
+        for (std::size_t j = 0; j < layer.weights.size(); ++j) {
+            double acc = layer.biases[j];
+            const auto& row = layer.weights[j];
+            for (std::size_t i = 0; i < row.size(); ++i) acc += row[i] * in[i];
+            pre[j] = acc;
+            out[j] = is_output ? acc : activate(acc);  // linear output unit
+        }
+    }
+}
+
+double MlpNetwork::predict(std::span<const double> inputs) const {
+    if (inputs.size() != static_cast<std::size_t>(layer_sizes_.front())) {
+        throw std::invalid_argument("MlpNetwork::predict: input size mismatch");
+    }
+    std::vector<std::vector<double>> acts;
+    std::vector<std::vector<double>> pres;
+    forward(inputs, acts, pres);
+    return acts.back().front();
+}
+
+std::size_t MlpNetwork::parameter_count() const {
+    std::size_t count = 0;
+    for (const Layer& layer : layers_) {
+        for (const auto& row : layer.weights) count += row.size();
+        count += layer.biases.size();
+    }
+    return count;
+}
+
+double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
+                         std::span<const double> targets,
+                         const MlpTrainOptions& options) {
+    if (inputs.size() != targets.size()) {
+        throw std::invalid_argument("MlpNetwork::train: example count mismatch");
+    }
+    if (inputs.empty()) throw std::invalid_argument("MlpNetwork::train: no examples");
+    for (const auto& x : inputs) {
+        if (x.size() != static_cast<std::size_t>(layer_sizes_.front())) {
+            throw std::invalid_argument("MlpNetwork::train: input size mismatch");
+        }
+    }
+
+    // Hold out the chronologically last fraction as validation (time-series
+    // aware: never validate on data older than training samples).
+    std::size_t val_count = 0;
+    if (options.validation_fraction > 0.0 && inputs.size() >= 10) {
+        val_count = static_cast<std::size_t>(
+            options.validation_fraction * static_cast<double>(inputs.size()));
+        val_count = std::min(val_count, inputs.size() - 1);
+    }
+    const std::size_t train_count = inputs.size() - val_count;
+
+    std::vector<std::size_t> order(train_count);
+    std::iota(order.begin(), order.end(), 0);
+    std::mt19937 shuffle_rng(options.seed);
+
+    std::vector<std::vector<double>> acts;
+    std::vector<std::vector<double>> pres;
+    std::vector<std::vector<double>> deltas(layers_.size());
+
+    double lr = options.learning_rate;
+    double best_val = std::numeric_limits<double>::infinity();
+    double last_train_loss = 0.0;
+    int since_best = 0;
+
+    auto validation_loss = [&]() {
+        if (val_count == 0) return 0.0;
+        double acc = 0.0;
+        for (std::size_t i = train_count; i < inputs.size(); ++i) {
+            const double err = predict(inputs[i]) - targets[i];
+            acc += err * err;
+        }
+        return acc / static_cast<double>(val_count);
+    };
+
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), shuffle_rng);
+        double train_loss = 0.0;
+        for (std::size_t idx : order) {
+            forward(inputs[idx], acts, pres);
+            const double out = acts.back().front();
+            const double err = out - targets[idx];
+            train_loss += err * err;
+
+            // Backprop: output delta is plain error (linear output, MSE).
+            deltas.back().assign(1, err);
+            for (std::size_t l = layers_.size() - 1; l-- > 0;) {
+                const Layer& next = layers_[l + 1];
+                std::vector<double>& delta = deltas[l];
+                delta.assign(acts[l + 1].size(), 0.0);
+                for (std::size_t j = 0; j < delta.size(); ++j) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < next.weights.size(); ++k) {
+                        acc += next.weights[k][j] * deltas[l + 1][k];
+                    }
+                    delta[j] = acc * activate_grad(acts[l + 1][j], pres[l][j]);
+                }
+            }
+            // SGD + momentum update.
+            for (std::size_t l = 0; l < layers_.size(); ++l) {
+                Layer& layer = layers_[l];
+                const std::vector<double>& in = acts[l];
+                for (std::size_t j = 0; j < layer.weights.size(); ++j) {
+                    const double d = deltas[l][j];
+                    auto& row = layer.weights[j];
+                    auto& vel = layer.weight_velocity[j];
+                    for (std::size_t i = 0; i < row.size(); ++i) {
+                        const double grad = d * in[i] + options.weight_decay * row[i];
+                        vel[i] = options.momentum * vel[i] - lr * grad;
+                        row[i] += vel[i];
+                    }
+                    layer.bias_velocity[j] =
+                        options.momentum * layer.bias_velocity[j] - lr * d;
+                    layer.biases[j] += layer.bias_velocity[j];
+                }
+            }
+        }
+        last_train_loss = train_loss / static_cast<double>(train_count);
+        lr *= options.lr_decay;
+
+        if (val_count > 0) {
+            const double val = validation_loss();
+            if (val < best_val - 1e-12) {
+                best_val = val;
+                since_best = 0;
+            } else if (++since_best >= options.patience) {
+                break;
+            }
+        }
+    }
+    return val_count > 0 ? best_val : last_train_loss;
+}
+
+}  // namespace atm::forecast

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace atm::forecast {
+
+/// Activation function for hidden layers of the MLP.
+enum class Activation {
+    kTanh,
+    kRelu,
+    kSigmoid,
+};
+
+/// Training hyper-parameters for MlpNetwork::train.
+struct MlpTrainOptions {
+    int epochs = 80;
+    double learning_rate = 0.05;
+    double momentum = 0.9;
+    /// Multiplicative learning-rate decay applied each epoch.
+    double lr_decay = 0.98;
+    /// Fraction of examples held out (from the end, before shuffling) for
+    /// early stopping. 0 disables early stopping.
+    double validation_fraction = 0.15;
+    /// Stop if validation loss has not improved for this many epochs.
+    int patience = 10;
+    /// L2 weight penalty.
+    double weight_decay = 1e-5;
+    unsigned seed = 42;
+};
+
+/// A small fully-connected feed-forward network with one output unit,
+/// trained with stochastic gradient descent + momentum and MSE loss.
+///
+/// This is the from-scratch stand-in for the neural-network temporal model
+/// the paper plugs in for signature series (PRACTISE, reference [7]).
+/// Hidden layers use the configured activation; the output is linear so
+/// the network regresses unbounded targets.
+class MlpNetwork {
+  public:
+    /// `layer_sizes` = {inputs, hidden..., 1}. At least {in, 1}. The final
+    /// size must be 1 (scalar regression). Weights are initialized with
+    /// Xavier/Glorot uniform scaling from `seed`.
+    MlpNetwork(std::vector<int> layer_sizes, Activation activation, unsigned seed);
+
+    /// Forward pass; `inputs` length must equal the input layer size.
+    [[nodiscard]] double predict(std::span<const double> inputs) const;
+
+    /// Trains on (inputs, target) pairs; returns the best (early-stopped)
+    /// validation loss, or the final training loss if validation is off.
+    double train(const std::vector<std::vector<double>>& inputs,
+                 std::span<const double> targets,
+                 const MlpTrainOptions& options);
+
+    [[nodiscard]] int input_size() const { return layer_sizes_.front(); }
+
+    /// Total trainable parameter count (weights + biases).
+    [[nodiscard]] std::size_t parameter_count() const;
+
+  private:
+    struct Layer {
+        // weights[j][i]: weight from input i to unit j. biases[j] per unit.
+        std::vector<std::vector<double>> weights;
+        std::vector<double> biases;
+        // Momentum buffers, same shapes.
+        std::vector<std::vector<double>> weight_velocity;
+        std::vector<double> bias_velocity;
+    };
+
+    [[nodiscard]] double activate(double x) const;
+    [[nodiscard]] double activate_grad(double activated, double pre) const;
+
+    /// Forward pass keeping per-layer activations (for backprop).
+    void forward(std::span<const double> inputs,
+                 std::vector<std::vector<double>>& activations,
+                 std::vector<std::vector<double>>& pre_activations) const;
+
+    std::vector<int> layer_sizes_;
+    Activation activation_;
+    std::vector<Layer> layers_;
+    std::mt19937 rng_;
+};
+
+}  // namespace atm::forecast

@@ -1,0 +1,250 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace atm::la {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        if (row.size() != cols_) {
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        }
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::column(std::span<const double> xs) {
+    Matrix m(xs.size(), 1);
+    for (std::size_t i = 0; i < xs.size(); ++i) m(i, 0) = xs[i];
+    return m;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+    if (cols_ != rhs.rows_) {
+        throw std::invalid_argument("Matrix multiply: shape mismatch");
+    }
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double aik = (*this)(i, k);
+            if (aik == 0.0) continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j) {
+                out(i, j) += aik * rhs(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        throw std::invalid_argument("Matrix add: shape mismatch");
+    }
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        throw std::invalid_argument("Matrix subtract: shape mismatch");
+    }
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - rhs.data_[i];
+    return out;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
+    return out;
+}
+
+std::vector<double> Matrix::column_vector(std::size_t c) const {
+    std::vector<double> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, c);
+    return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& rhs) const {
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        throw std::invalid_argument("max_abs_diff: shape mismatch");
+    }
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+    }
+    return m;
+}
+
+std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n || b.size() != n) {
+        throw std::invalid_argument("solve: need square A and matching b");
+    }
+    // Augmented working copy.
+    Matrix w(n, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) w(i, j) = a(i, j);
+        w(i, n) = b[i];
+    }
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(w(r, col)) > std::abs(w(pivot, col))) pivot = r;
+        }
+        if (std::abs(w(pivot, col)) < 1e-12) {
+            throw std::runtime_error("solve: singular matrix");
+        }
+        if (pivot != col) {
+            for (std::size_t j = col; j <= n; ++j) std::swap(w(pivot, j), w(col, j));
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = w(r, col) / w(col, col);
+            if (factor == 0.0) continue;
+            for (std::size_t j = col; j <= n; ++j) w(r, j) -= factor * w(col, j);
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = w(ii, n);
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= w(ii, j) * x[j];
+        x[ii] = acc / w(ii, ii);
+    }
+    return x;
+}
+
+Matrix cholesky(const Matrix& a) {
+    const std::size_t n = a.rows();
+    if (a.cols() != n) throw std::invalid_argument("cholesky: need square A");
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (acc <= 0.0) throw std::runtime_error("cholesky: matrix not SPD");
+                l(i, j) = std::sqrt(acc);
+            } else {
+                l(i, j) = acc / l(j, j);
+            }
+        }
+    }
+    return l;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+    const std::size_t n = a.rows();
+    if (b.size() != n) throw std::invalid_argument("solve_spd: shape mismatch");
+    const Matrix l = cholesky(a);
+    // Forward: L y = b
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+    }
+    // Back: Lᵀ x = y
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+        x[ii] = acc / l(ii, ii);
+    }
+    return x;
+}
+
+QrResult qr_decompose(const Matrix& a) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m < n) throw std::invalid_argument("qr_decompose: need m >= n");
+    // Householder on a working copy; accumulate Q implicitly then extract.
+    Matrix r = a;
+    Matrix qt = Matrix::identity(m);  // Qᵀ accumulated
+    for (std::size_t k = 0; k < n; ++k) {
+        // Householder vector for column k below the diagonal.
+        double norm = 0.0;
+        for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-14) continue;
+        const double alpha = r(k, k) >= 0 ? -norm : norm;
+        std::vector<double> v(m, 0.0);
+        v[k] = r(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i) v[i] = r(i, k);
+        double vnorm2 = 0.0;
+        for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+        if (vnorm2 < 1e-28) continue;
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R and accumulate into Qᵀ.
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t i = k; i < m; ++i) s += v[i] * r(i, j);
+            s = 2.0 * s / vnorm2;
+            for (std::size_t i = k; i < m; ++i) r(i, j) -= s * v[i];
+        }
+        for (std::size_t j = 0; j < m; ++j) {
+            double s = 0.0;
+            for (std::size_t i = k; i < m; ++i) s += v[i] * qt(i, j);
+            s = 2.0 * s / vnorm2;
+            for (std::size_t i = k; i < m; ++i) qt(i, j) -= s * v[i];
+        }
+    }
+    QrResult out;
+    out.r = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) out.r(i, j) = r(i, j);
+    }
+    // Q thin = (Qᵀ)ᵀ restricted to first n columns.
+    out.q = Matrix(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) out.q(i, j) = qt(j, i);
+    }
+    return out;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b) {
+    if (a.rows() != b.size()) {
+        throw std::invalid_argument("solve_least_squares: shape mismatch");
+    }
+    const QrResult qr = qr_decompose(a);
+    const std::size_t n = a.cols();
+    // x = R⁻¹ Qᵀ b
+    std::vector<double> qtb(n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.rows(); ++i) acc += qr.q(i, j) * b[i];
+        qtb[j] = acc;
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = qtb[ii];
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= qr.r(ii, j) * x[j];
+        const double diag = qr.r(ii, ii);
+        // Rank-deficient columns get coefficient 0 (minimal-norm-ish choice)
+        // rather than an exception: stepwise regression probes such designs.
+        x[ii] = std::abs(diag) < 1e-12 ? 0.0 : acc / diag;
+    }
+    return x;
+}
+
+double dot(std::span<const double> xs, std::span<const double> ys) {
+    assert(xs.size() == ys.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[i] * ys[i];
+    return acc;
+}
+
+}  // namespace atm::la

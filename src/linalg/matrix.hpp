@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace atm::la {
+
+/// Dense row-major matrix of doubles.
+///
+/// Deliberately minimal: exactly the operations the ATM pipeline needs
+/// (OLS design matrices, normal equations, QR). No expression templates,
+/// no views — sizes here are small (a box has ~20 series of ~700 samples).
+class Matrix {
+  public:
+    Matrix() = default;
+
+    /// rows x cols matrix, zero-initialized.
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+    /// Builds from nested initializer lists; all rows must be equal length.
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /// Identity matrix of size n.
+    static Matrix identity(std::size_t n);
+
+    /// Column vector (n x 1) from samples.
+    static Matrix column(std::span<const double> xs);
+
+    [[nodiscard]] std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
+
+    [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+        return data_[r * cols_ + c];
+    }
+
+    /// Matrix product; throws std::invalid_argument on shape mismatch.
+    [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+    [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+    [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+
+    /// Transpose.
+    [[nodiscard]] Matrix transposed() const;
+
+    /// Copies column c into a vector.
+    [[nodiscard]] std::vector<double> column_vector(std::size_t c) const;
+
+    /// Maximum absolute element difference; used by tests.
+    [[nodiscard]] double max_abs_diff(const Matrix& rhs) const;
+
+    /// Raw row-major storage.
+    [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves the square system A x = b by Gaussian elimination with partial
+/// pivoting. Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error if A is (numerically) singular.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// Cholesky factor L (lower-triangular, A = L Lᵀ) of a symmetric
+/// positive-definite matrix. Throws std::runtime_error if not SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky (forward + back substitution).
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Thin QR decomposition by Householder reflections: A (m x n, m >= n)
+/// = Q R with Q (m x n) orthonormal columns and R (n x n) upper triangular.
+struct QrResult {
+    Matrix q;
+    Matrix r;
+};
+QrResult qr_decompose(const Matrix& a);
+
+/// Least-squares solution of min ||A x - b||² via QR; more numerically
+/// robust than normal equations for ill-conditioned designs.
+std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b);
+
+/// Dot product of two equal-length spans.
+double dot(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace atm::la

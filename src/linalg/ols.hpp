@@ -1,0 +1,68 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace atm::la {
+
+/// Result of an ordinary-least-squares fit y ~ intercept + X b.
+struct OlsFit {
+    /// Intercept followed by one coefficient per predictor, in input order.
+    std::vector<double> coefficients;
+    /// Fitted values, one per observation.
+    std::vector<double> fitted;
+    /// Residuals y - fitted.
+    std::vector<double> residuals;
+    /// Coefficient of determination in [0, 1] (clamped).
+    double r_squared = 0.0;
+    /// Adjusted R² penalizing predictor count; may be negative.
+    double adjusted_r_squared = 0.0;
+
+    /// Predicts a single response from predictor values (same order as the
+    /// fit). Sizes must match coefficients.size() - 1.
+    [[nodiscard]] double predict(std::span<const double> predictors) const;
+};
+
+/// Fits y on the given predictor columns with an intercept, using QR
+/// least squares (robust to collinear predictor sets, which stepwise
+/// regression probes deliberately).
+///
+/// `predictors[j]` is the j-th predictor series; all must be the same
+/// length as y. Throws std::invalid_argument on shape mismatch.
+///
+/// This implements the paper's spatial model (Eq. 1): a dependent demand
+/// series D_k is expressed as a linear combination f_k of the signature
+/// series, with coefficients from "ordinary least square estimates"
+/// (Section III-B).
+OlsFit ols_fit(std::span<const double> y,
+               const std::vector<std::vector<double>>& predictors);
+
+/// Variance inflation factor for each series in `predictors`: series j is
+/// regressed on all the others and VIF_j = 1 / (1 - R²_j). A VIF above 4
+/// flags multicollinearity (Section III-A Step 2). A lone predictor has
+/// VIF 1. R² of 1 (exact collinearity) maps to a large finite value.
+std::vector<double> variance_inflation_factors(
+    const std::vector<std::vector<double>>& predictors);
+
+/// Iteratively removes multicollinear series: while any VIF exceeds
+/// `vif_threshold`, drop the series with the largest VIF (it is best
+/// explained by the remaining ones). Returns indices into the original
+/// `predictors` that are kept, in ascending order. This is the paper's
+/// Step 2 ("stepwise regression to remove the series that can be
+/// represented as linear combinations of the other signature series").
+std::vector<std::size_t> reduce_multicollinearity(
+    const std::vector<std::vector<double>>& predictors,
+    double vif_threshold = 4.0);
+
+/// Classical forward-selection stepwise regression: greedily adds the
+/// predictor that most improves adjusted R² until no candidate improves it
+/// by at least `min_gain`. Returns selected indices in selection order.
+/// Provided for ablation against the VIF-driven backward elimination.
+std::vector<std::size_t> forward_stepwise(
+    std::span<const double> y,
+    const std::vector<std::vector<double>>& candidates,
+    double min_gain = 1e-4);
+
+}  // namespace atm::la

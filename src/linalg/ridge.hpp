@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/ols.hpp"
+
+namespace atm::la {
+
+/// Ridge (L2-regularized) regression: minimizes
+///   ||y − b0 − X b||² + lambda ||b||²
+/// (the intercept is not penalized; predictors are internally centered so
+/// the penalty is scale-consistent). Shrinks coefficients of correlated
+/// predictors — a robust alternative to stepwise elimination when a
+/// signature set is still mildly collinear.
+///
+/// Returns the same OlsFit structure (coefficients = intercept then one
+/// per predictor, fitted values, residuals, R²). lambda = 0 reproduces
+/// OLS up to numerical error. Throws std::invalid_argument on shape
+/// mismatch or negative lambda.
+OlsFit ridge_fit(std::span<const double> y,
+                 const std::vector<std::vector<double>>& predictors,
+                 double lambda);
+
+/// Leave-future-out lambda selection: fits on the first
+/// `1 - holdout_fraction` of samples for each lambda in `candidates` and
+/// returns the lambda with the lowest mean squared error on the held-out
+/// suffix (time-series aware: validation never precedes training).
+double select_ridge_lambda(std::span<const double> y,
+                           const std::vector<std::vector<double>>& predictors,
+                           std::span<const double> candidates,
+                           double holdout_fraction = 0.25);
+
+/// Inverse of a square matrix via Gauss-Jordan with partial pivoting.
+/// Throws std::runtime_error if singular.
+Matrix inverse(const Matrix& a);
+
+/// Determinant via LU with partial pivoting (0 for singular inputs).
+double determinant(const Matrix& a);
+
+}  // namespace atm::la

@@ -1,0 +1,236 @@
+#include "mediawiki/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "resize/policies.hpp"
+#include "timeseries/stats.hpp"
+
+namespace atm::wiki {
+namespace {
+
+/// Utilization clamp for the PS response-time approximation; above this
+/// the tier is treated as saturated (admission control sheds the excess).
+constexpr double kSaturationClamp = 0.88;
+
+struct TierLoad {
+    double offered_cpu = 0.0;  ///< cores of demand offered to this VM
+    double rate_rps = 0.0;     ///< requests/s reaching this VM
+};
+
+void validate(const TestbedSpec& spec) {
+    if (spec.vms.empty() || spec.wikis.empty()) {
+        throw std::invalid_argument("simulate: empty testbed");
+    }
+    if (spec.wikis.size() != spec.workloads.size()) {
+        throw std::invalid_argument("simulate: one workload per wiki required");
+    }
+    if (spec.step_seconds < 1 || spec.ticket_window_seconds < spec.step_seconds) {
+        throw std::invalid_argument("simulate: bad time granularity");
+    }
+}
+
+/// Indices of a wiki's VMs in a given tier.
+std::vector<std::size_t> tier_vms(const TestbedSpec& spec, int wiki, Tier tier) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+        if (spec.vms[i].wiki == wiki && spec.vms[i].tier == tier) out.push_back(i);
+    }
+    return out;
+}
+
+double tier_service_demand(const WikiSpec& wiki, Tier tier) {
+    switch (tier) {
+        case Tier::kApache: return wiki.apache_demand_s;
+        case Tier::kMemcached: return wiki.memcached_demand_s;
+        case Tier::kMysql: return wiki.mysql_demand_s;
+    }
+    return 0.0;
+}
+
+}  // namespace
+
+SimResult simulate(const TestbedSpec& spec, double threshold_pct) {
+    validate(spec);
+    const int num_steps = spec.duration_steps();
+    const int steps_per_window = spec.ticket_window_seconds / spec.step_seconds;
+
+    SimResult result;
+    result.vm_cpu_usage_pct.resize(spec.vms.size());
+    for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+        result.vm_cpu_usage_pct[i].set_name(spec.vms[i].name + "/CPU");
+    }
+    result.wikis.resize(spec.wikis.size());
+
+    std::mt19937_64 rng(spec.seed);
+    std::normal_distribution<double> usage_noise(0.0, 1.2);
+
+    // Per-VM per-step CPU demand in cores (min(offered, limit): what the
+    // monitoring stack can observe).
+    std::vector<std::vector<double>> step_demand(
+        spec.vms.size(), std::vector<double>(static_cast<std::size_t>(num_steps), 0.0));
+
+    for (int step = 0; step < num_steps; ++step) {
+        const int now_s = step * spec.step_seconds;
+        std::vector<TierLoad> load(spec.vms.size());
+
+        for (std::size_t w = 0; w < spec.wikis.size(); ++w) {
+            const WikiSpec& wiki = spec.wikis[w];
+            const WorkloadSpec& workload = spec.workloads[w];
+            const bool high = (now_s / workload.phase_seconds) % 2 == 1;
+            // Within-phase ramp (+-6%) keeps window demands continuous, so
+            // the resizing MCKP has fine-grained candidates instead of a
+            // two-level staircase.
+            const double phase_pos =
+                static_cast<double>(now_s % workload.phase_seconds) /
+                workload.phase_seconds;
+            const double ramp =
+                1.0 + 0.06 * std::sin(2.0 * 3.14159265358979 * phase_pos);
+            const double lambda =
+                (high ? workload.high_rate_rps : workload.low_rate_rps) * ramp;
+
+            // --- Apache tier -------------------------------------------------
+            const auto apaches = tier_vms(spec, static_cast<int>(w), Tier::kApache);
+            double apache_survivors = 0.0;
+            double apache_rt = 0.0;
+            for (std::size_t vm_i : apaches) {
+                const double rate = lambda / static_cast<double>(apaches.size());
+                const double offered = rate * wiki.apache_demand_s;
+                load[vm_i].offered_cpu += offered;
+                load[vm_i].rate_rps += rate;
+            }
+            // Served fraction per Apache = capacity / offered when saturated.
+            for (std::size_t vm_i : apaches) {
+                const double limit = spec.vms[vm_i].cpu_limit_cores;
+                const double u = limit > 0.0 ? load[vm_i].offered_cpu / limit : 1e9;
+                const double f = u > 1.0 ? 1.0 / u : 1.0;
+                apache_survivors += load[vm_i].rate_rps * f;
+                const double u_eff = std::min(u, kSaturationClamp);
+                apache_rt += wiki.apache_demand_s / (1.0 - u_eff);
+            }
+            apache_rt /= static_cast<double>(apaches.size());
+
+            // --- storage tiers (memcached / MySQL) ---------------------------
+            auto serve_tier = [&](Tier tier, double tier_rate,
+                                  double& tier_rt) -> double {
+                const auto vms = tier_vms(spec, static_cast<int>(w), tier);
+                if (vms.empty() || tier_rate <= 0.0) {
+                    tier_rt = 0.0;
+                    return tier_rate;
+                }
+                const double service = tier_service_demand(wiki, tier);
+                double served = 0.0;
+                double rt = 0.0;
+                for (std::size_t vm_i : vms) {
+                    const double rate = tier_rate / static_cast<double>(vms.size());
+                    const double offered = rate * service;
+                    load[vm_i].offered_cpu += offered;
+                    load[vm_i].rate_rps += rate;
+                    const double limit = spec.vms[vm_i].cpu_limit_cores;
+                    const double u = limit > 0.0 ? offered / limit : 1e9;
+                    served += rate * (u > 1.0 ? 1.0 / u : 1.0);
+                    rt += service / (1.0 - std::min(u, kSaturationClamp));
+                }
+                tier_rt = rt / static_cast<double>(vms.size());
+                return served;
+            };
+
+            double mc_rt = 0.0;
+            double db_rt = 0.0;
+            const double mc_served = serve_tier(
+                Tier::kMemcached, apache_survivors * wiki.cache_hit_ratio, mc_rt);
+            const double db_served = serve_tier(
+                Tier::kMysql, apache_survivors * (1.0 - wiki.cache_hit_ratio), db_rt);
+
+            const double throughput = mc_served + db_served;
+            const double rt = wiki.base_latency_s + apache_rt +
+                              wiki.cache_hit_ratio * mc_rt +
+                              (1.0 - wiki.cache_hit_ratio) * db_rt;
+            result.wikis[w].response_time_s.push_back(rt);
+            result.wikis[w].throughput_rps.push_back(throughput);
+        }
+
+        // --- per-VM usage samples for this step -----------------------------
+        for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+            const double limit = spec.vms[i].cpu_limit_cores;
+            const double used = std::min(load[i].offered_cpu, limit);
+            // Demand is the *runnable* (steal-aware) CPU time the hypervisor
+            // observes — it exceeds the cgroup limit when the VM is
+            // saturated, which is exactly what the resizing algorithm must
+            // see to allocate a saturated VM out of its bottleneck.
+            step_demand[i][static_cast<std::size_t>(step)] = load[i].offered_cpu;
+            const double base_pct = limit > 0.0 ? 100.0 * used / limit : 100.0;
+            const double pct = std::clamp(base_pct + usage_noise(rng), 0.0, 100.0);
+            result.vm_cpu_usage_pct[i].push_back(pct);
+        }
+    }
+
+    // --- window aggregation + tickets ----------------------------------------
+    const int num_windows = num_steps / steps_per_window;
+    result.vm_cpu_demand_cores.assign(spec.vms.size(), {});
+    result.vm_tickets.assign(spec.vms.size(), 0);
+    for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+        for (int wdw = 0; wdw < num_windows; ++wdw) {
+            const auto first = static_cast<std::size_t>(wdw * steps_per_window);
+            double demand_sum = 0.0;
+            double usage_sum = 0.0;
+            for (int s = 0; s < steps_per_window; ++s) {
+                demand_sum += step_demand[i][first + static_cast<std::size_t>(s)];
+                usage_sum += result.vm_cpu_usage_pct[i][first + static_cast<std::size_t>(s)];
+            }
+            result.vm_cpu_demand_cores[i].push_back(
+                demand_sum / steps_per_window);
+            if (usage_sum / steps_per_window > threshold_pct) {
+                ++result.vm_tickets[i];
+                ++result.total_tickets;
+            }
+        }
+    }
+
+    // --- run means -------------------------------------------------------------
+    for (std::size_t w = 0; w < result.wikis.size(); ++w) {
+        WikiMetrics& m = result.wikis[w];
+        // Request-weighted mean response time (what served users saw).
+        double weighted_rt = 0.0;
+        double total_tput = 0.0;
+        for (std::size_t t = 0; t < m.response_time_s.size(); ++t) {
+            weighted_rt += m.response_time_s[t] * m.throughput_rps[t];
+            total_tput += m.throughput_rps[t];
+        }
+        m.mean_response_time_s = total_tput > 0.0 ? weighted_rt / total_tput : 0.0;
+        m.mean_throughput_rps = ts::mean(m.throughput_rps);
+    }
+    return result;
+}
+
+TestbedSpec resize_with_atm(const TestbedSpec& spec, const SimResult& result,
+                            double alpha, double epsilon_cores) {
+    TestbedSpec resized = spec;
+    for (const NodeSpec& node : spec.nodes) {
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+            if (spec.vms[i].node == node.node) members.push_back(i);
+        }
+        if (members.empty()) continue;
+
+        resize::ResizeInput input;
+        input.total_capacity = node.total_cores;
+        input.alpha = alpha;
+        input.epsilon = epsilon_cores;
+        for (std::size_t i : members) {
+            input.demands.push_back(result.vm_cpu_demand_cores[i]);
+            input.current_capacities.push_back(spec.vms[i].cpu_limit_cores);
+        }
+        const resize::ResizeResult allocation = resize::atm_resize(input);
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            // Keep a minimal floor so idle VMs stay schedulable.
+            resized.vms[members[k]].cpu_limit_cores =
+                std::max(allocation.capacities[k], 0.2);
+        }
+    }
+    return resized;
+}
+
+}  // namespace atm::wiki

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "mediawiki/testbed.hpp"
+#include "timeseries/series.hpp"
+
+namespace atm::wiki {
+
+/// Per-wiki performance metrics of one simulation run.
+struct WikiMetrics {
+    /// Per-step mean response time (seconds) and throughput (req/s).
+    std::vector<double> response_time_s;
+    std::vector<double> throughput_rps;
+    double mean_response_time_s = 0.0;
+    double mean_throughput_rps = 0.0;
+};
+
+/// Result of one simulation run.
+struct SimResult {
+    /// Per-VM CPU utilization in percent of the VM's cgroup limit, one
+    /// sample per simulation step (same order as TestbedSpec::vms).
+    std::vector<ts::Series> vm_cpu_usage_pct;
+    /// Per-VM *runnable* CPU demand in cores per ticketing window (mean
+    /// over the window), steal-aware: it exceeds the cgroup limit while a
+    /// VM is saturated. This is the input the resizing algorithm consumes.
+    std::vector<std::vector<double>> vm_cpu_demand_cores;
+    /// Per-VM ticket counts over the run at the 60% threshold on
+    /// window-averaged usage.
+    std::vector<int> vm_tickets;
+    int total_tickets = 0;
+    std::vector<WikiMetrics> wikis;
+};
+
+/// Fluid queueing simulation of the testbed (Section V-B substitute).
+///
+/// Each VM is a processor-sharing station with capacity = its cgroup CPU
+/// limit. Per step, each wiki's offered rate is split across its tier
+/// replicas; a station's utilization is offered CPU demand / limit;
+/// response time per tier follows the M/G/1-PS approximation
+/// S / (1 − u) (u clamped below 1), plus a saturation penalty when the
+/// offered load exceeds capacity; throughput is capped by the most
+/// saturated tier on the request path. Window-averaged per-VM usage feeds
+/// ticket counting at `threshold_pct`.
+SimResult simulate(const TestbedSpec& spec, double threshold_pct = 60.0);
+
+/// Applies the ATM resizing algorithm to a finished run: for every node,
+/// the per-window CPU demands observed in `result` become the demand
+/// series of the co-located VMs and the node's total cores the budget;
+/// returns a copy of `spec` with re-assigned cgroup limits. `alpha` is
+/// the ticket threshold fraction; `epsilon_cores` the discretization step
+/// in cores (0 disables).
+TestbedSpec resize_with_atm(const TestbedSpec& spec, const SimResult& result,
+                            double alpha = 0.6, double epsilon_cores = 0.3);
+
+}  // namespace atm::wiki

@@ -1,0 +1,113 @@
+#include "resize/drf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace atm::resize {
+
+MultiResourceResult drf_resize(const MultiResourceInput& input) {
+    const std::size_t n = input.cpu_demands.size();
+    if (n == 0 || input.ram_demands.size() != n) {
+        throw std::invalid_argument("drf_resize: demand shape mismatch");
+    }
+    if (input.alpha <= 0.0 || input.alpha > 1.0) {
+        throw std::invalid_argument("drf_resize: alpha must be in (0, 1]");
+    }
+    if (input.cpu_capacity < 0.0 || input.ram_capacity < 0.0) {
+        throw std::invalid_argument("drf_resize: negative capacity");
+    }
+
+    // Ticket-free requirements per VM and resource.
+    std::vector<double> cpu_req(n, 0.0);
+    std::vector<double> ram_req(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto& c = input.cpu_demands[i];
+        const auto& r = input.ram_demands[i];
+        cpu_req[i] = (c.empty() ? 0.0 : *std::max_element(c.begin(), c.end())) /
+                     input.alpha;
+        ram_req[i] = (r.empty() ? 0.0 : *std::max_element(r.begin(), r.end())) /
+                     input.alpha;
+    }
+
+    MultiResourceResult result;
+    result.cpu_capacities.assign(n, 0.0);
+    result.ram_capacities.assign(n, 0.0);
+
+    // Progressive filling on the dominant share. Each unsatisfied VM i
+    // grows along its demand vector direction; we advance the VM with the
+    // smallest dominant share by one "step" = 1% of its remaining request,
+    // until resources or requests are exhausted. O(n * steps), exact
+    // enough for allocation purposes and trivially correct.
+    double cpu_left = input.cpu_capacity;
+    double ram_left = input.ram_capacity;
+    std::vector<bool> satisfied(n, false);
+    std::vector<double> dominant(n, 0.0);
+
+    auto dominant_share = [&](std::size_t i) {
+        const double cpu_share = input.cpu_capacity > 0.0
+                                     ? result.cpu_capacities[i] / input.cpu_capacity
+                                     : 0.0;
+        const double ram_share = input.ram_capacity > 0.0
+                                     ? result.ram_capacities[i] / input.ram_capacity
+                                     : 0.0;
+        return std::max(cpu_share, ram_share);
+    };
+
+    for (int guard = 0; guard < 1000000; ++guard) {
+        // Pick the unsatisfied VM with the smallest dominant share.
+        std::size_t pick = n;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (satisfied[i]) continue;
+            const double d = dominant_share(i);
+            if (d < best) {
+                best = d;
+                pick = i;
+            }
+        }
+        if (pick == n) break;  // everyone satisfied
+
+        const double cpu_missing = cpu_req[pick] - result.cpu_capacities[pick];
+        const double ram_missing = ram_req[pick] - result.ram_capacities[pick];
+        if (cpu_missing <= 1e-9 && ram_missing <= 1e-9) {
+            satisfied[pick] = true;
+            continue;
+        }
+        // Step: 2% of the total request (bounded below to guarantee
+        // progress) along the demand direction, clipped by availability.
+        double cpu_step = std::max(cpu_missing * 0.02, cpu_req[pick] * 0.005);
+        double ram_step = std::max(ram_missing * 0.02, ram_req[pick] * 0.005);
+        cpu_step = std::min({cpu_step, cpu_missing, cpu_left});
+        ram_step = std::min({ram_step, ram_missing, ram_left});
+        if (cpu_step <= 1e-12 && ram_step <= 1e-12) {
+            // This VM can make no progress (resources gone): freeze it.
+            satisfied[pick] = true;
+            // When one resource is exhausted, VMs needing only the other
+            // may still progress — keep looping.
+            continue;
+        }
+        result.cpu_capacities[pick] += cpu_step;
+        result.ram_capacities[pick] += ram_step;
+        cpu_left -= cpu_step;
+        ram_left -= ram_step;
+    }
+
+    auto count = [&](const std::vector<std::vector<double>>& demands,
+                     const std::vector<double>& caps) {
+        int total = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double limit = input.alpha * caps[i];
+            for (double d : demands[i]) {
+                if (d > limit + 1e-12) ++total;
+            }
+        }
+        return total;
+    };
+    result.cpu_tickets = count(input.cpu_demands, result.cpu_capacities);
+    result.ram_tickets = count(input.ram_demands, result.ram_capacities);
+    return result;
+}
+
+}  // namespace atm::resize

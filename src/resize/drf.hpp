@@ -1,0 +1,39 @@
+#pragma once
+
+#include "resize/policies.hpp"
+
+namespace atm::resize {
+
+/// Input to the multi-resource DRF allocator: per-VM demand series for
+/// both resources plus per-resource budgets and thresholds.
+struct MultiResourceInput {
+    /// cpu_demands[i] / ram_demands[i] = VM i's series over the window.
+    std::vector<std::vector<double>> cpu_demands;
+    std::vector<std::vector<double>> ram_demands;
+    double cpu_capacity = 0.0;
+    double ram_capacity = 0.0;
+    double alpha = 0.6;
+};
+
+/// Per-VM allocations for both resources.
+struct MultiResourceResult {
+    std::vector<double> cpu_capacities;
+    std::vector<double> ram_capacities;
+    int cpu_tickets = 0;
+    int ram_tickets = 0;
+};
+
+/// Dominant Resource Fairness (Ghodsi et al., NSDI'11 — reference [17] of
+/// the paper): allocations progress in rounds that equalize each VM's
+/// *dominant share* — the larger of its CPU-share and RAM-share of the
+/// box. Demands are the ticket-free requirements (peak demand / alpha).
+/// Unlike per-resource max-min, a VM heavy on one resource cannot also
+/// crowd out the other resource.
+///
+/// Implemented as progressive filling on the dominant share: repeatedly
+/// grant the unsatisfied VM with the smallest dominant share an
+/// infinitesimal step, discretized by granting proportional slices until
+/// either resource or every request is exhausted.
+MultiResourceResult drf_resize(const MultiResourceInput& input);
+
+}  // namespace atm::resize

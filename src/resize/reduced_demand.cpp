@@ -1,0 +1,113 @@
+#include "resize/reduced_demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atm::resize {
+namespace {
+
+/// Tickets seen when the allocation covers demands up to `level`:
+/// #{t : d_t > level}. `demands` are the (discretized) series values.
+int tickets_above(std::span<const double> demands, double level) {
+    int count = 0;
+    for (double d : demands) {
+        if (d > level + 1e-12) ++count;
+    }
+    return count;
+}
+
+}  // namespace
+
+ReducedDemandSet build_reduced_demand_set(std::span<const double> demand,
+                                          double alpha, double epsilon,
+                                          double lower_bound,
+                                          double upper_bound,
+                                          double keep_capacity) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+        throw std::invalid_argument("build_reduced_demand_set: alpha must be in (0, 1]");
+    }
+    if (lower_bound < 0.0) lower_bound = 0.0;
+
+    // Step 1: epsilon-discretize (round demands *up*, the safety margin).
+    std::vector<double> disc(demand.begin(), demand.end());
+    for (double& d : disc) {
+        if (d < 0.0) d = 0.0;
+        if (epsilon > 0.0) d = std::ceil(d / epsilon - 1e-12) * epsilon;
+    }
+
+    // Step 2: unique values, descending, 0 appended.
+    std::vector<double> levels = disc;
+    std::sort(levels.begin(), levels.end(), std::greater<>());
+    levels.erase(std::unique(levels.begin(), levels.end(),
+                             [](double a, double b) { return std::abs(a - b) < 1e-12; }),
+                 levels.end());
+    if (levels.empty() || levels.back() > 1e-12) levels.push_back(0.0);
+
+    // Step 3: candidates with capacities and ticket counts.
+    ReducedDemandSet out;
+    out.candidates.reserve(levels.size());
+    for (double level : levels) {
+        CapacityCandidate c;
+        c.demand_level = level;
+        c.capacity = level <= 1e-12 ? 0.0 : level / alpha;
+        c.tickets = tickets_above(disc, level);
+        out.candidates.push_back(c);
+    }
+
+    // Step 3b: the no-op candidate (keep the current allocation).
+    if (keep_capacity >= 0.0) {
+        CapacityCandidate c;
+        c.capacity = keep_capacity;
+        c.demand_level = keep_capacity * alpha;
+        c.tickets = tickets_above(disc, c.demand_level);
+        out.candidates.push_back(c);
+    }
+
+    // Step 4: capacity bounds.
+    if (upper_bound >= 0.0) {
+        std::erase_if(out.candidates, [&](const CapacityCandidate& c) {
+            return c.capacity > upper_bound + 1e-9;
+        });
+        if (out.candidates.empty()) {
+            // Even the cheapest candidate exceeds the physical box: allocate
+            // the whole upper bound and accept the residual tickets.
+            CapacityCandidate c;
+            c.capacity = upper_bound;
+            c.demand_level = upper_bound * alpha;
+            c.tickets = tickets_above(disc, c.demand_level);
+            out.candidates.push_back(c);
+        }
+    }
+    if (lower_bound > 0.0) {
+        const double effective_lb =
+            upper_bound >= 0.0 ? std::min(lower_bound, upper_bound) : lower_bound;
+        std::erase_if(out.candidates, [&](const CapacityCandidate& c) {
+            return c.capacity < effective_lb - 1e-9;
+        });
+        const bool have_lb = !out.candidates.empty() &&
+                             std::abs(out.candidates.back().capacity - effective_lb) < 1e-9;
+        if (!have_lb) {
+            CapacityCandidate c;
+            c.capacity = effective_lb;
+            c.demand_level = effective_lb * alpha;
+            c.tickets = tickets_above(disc, c.demand_level);
+            out.candidates.push_back(c);
+        }
+    }
+
+    // Keep strictly decreasing capacity order (P then non-decreasing).
+    std::sort(out.candidates.begin(), out.candidates.end(),
+              [](const CapacityCandidate& a, const CapacityCandidate& b) {
+                  return a.capacity > b.capacity;
+              });
+    out.candidates.erase(
+        std::unique(out.candidates.begin(), out.candidates.end(),
+                    [](const CapacityCandidate& a, const CapacityCandidate& b) {
+                        return std::abs(a.capacity - b.capacity) < 1e-9;
+                    }),
+        out.candidates.end());
+    return out;
+}
+
+}  // namespace atm::resize

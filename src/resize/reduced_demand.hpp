@@ -1,0 +1,65 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::resize {
+
+/// One capacity candidate for a VM in the multi-choice knapsack problem.
+///
+/// `demand_level` is a (possibly ε-discretized) demand value from the VM's
+/// reduced demand set D'_i (Lemma 4.1); `capacity` is the smallest
+/// allocation under which no window with demand <= demand_level tickets,
+/// i.e. capacity = demand_level / alpha; `tickets` is P_{i,v}: the number
+/// of windows whose demand strictly exceeds demand_level.
+///
+/// Note on the paper: Lemma 4.1 states C*_i ∈ D_i ∪ {0} and the worked
+/// example counts tickets as demand > candidate, which is exact for
+/// alpha = 1. For alpha < 1 the ticket count changes at capacity
+/// breakpoints D_t / alpha, so we carry both the demand level (candidate
+/// identity, as in the paper) and the implied capacity (what the knapsack
+/// constraint consumes). With alpha = 1 the two coincide and this reduces
+/// to the paper's formulation verbatim.
+struct CapacityCandidate {
+    double demand_level = 0.0;
+    double capacity = 0.0;
+    int tickets = 0;
+};
+
+/// The reduced demand set D'_i of one VM: unique (discretized) demand
+/// values in strictly decreasing order, 0 appended last, each with its
+/// ticket count P_{i,v} (non-decreasing down the list).
+struct ReducedDemandSet {
+    std::vector<CapacityCandidate> candidates;
+};
+
+/// Builds D'_i from a predicted demand series (Section IV-A1).
+///
+/// `alpha` is the ticket threshold as a fraction (0.6); `epsilon` is the
+/// discretization factor: demands are rounded *up* to the next multiple of
+/// epsilon before deduplication ("rounding up demands makes the resizing
+/// algorithm more aggressive in allocating resources" — it also provides
+/// the safety margin). epsilon <= 0 disables discretization.
+///
+/// `lower_bound` / `upper_bound` clamp the candidate *capacities*
+/// (Section IV-A1 last paragraph: lower bound = pre-resize peak usage so
+/// unfinished demand does not spill over; upper bound = physical box
+/// capacity). Candidates whose capacity falls outside are dropped; if the
+/// lower bound removes the 0 candidate, the smallest kept candidate is the
+/// lower bound itself (with its real ticket count). An empty or all-zero
+/// series yields the single candidate {0, 0, 0}.
+/// `keep_capacity`, when >= 0, inserts the VM's *current* allocation as an
+/// extra candidate. Lemma 4.1 shows capacities above the maximum demand
+/// cannot improve the (predicted) objective — but shrinking a VM that has
+/// zero predicted tickets buys nothing either, and makes the allocation
+/// fragile against prediction error. With the current size as a candidate
+/// the greedy keeps over-provisioned VMs untouched and releases their
+/// slack first under budget pressure (the downgrade from "current" to the
+/// top demand candidate costs zero predicted tickets, i.e. has MTRV 0).
+ReducedDemandSet build_reduced_demand_set(std::span<const double> demand,
+                                          double alpha, double epsilon,
+                                          double lower_bound = 0.0,
+                                          double upper_bound = -1.0,
+                                          double keep_capacity = -1.0);
+
+}  // namespace atm::resize

@@ -1,0 +1,101 @@
+#include "ticketing/characterization.hpp"
+
+#include <cmath>
+
+#include "ticketing/tickets.hpp"
+#include "timeseries/stats.hpp"
+
+namespace atm::ticketing {
+namespace {
+
+/// One day's slice [day*wpd, (day+1)*wpd) of a series, clamped.
+std::span<const double> day_slice(const ts::Series& s, int day, int wpd) {
+    const auto first = static_cast<std::size_t>(day) * static_cast<std::size_t>(wpd);
+    if (first >= s.size()) return {};
+    const std::size_t count = std::min(static_cast<std::size_t>(wpd), s.size() - first);
+    return s.view().subspan(first, count);
+}
+
+}  // namespace
+
+ThresholdCharacterization characterize_tickets(const trace::Trace& trace,
+                                               double threshold_pct, int day) {
+    ThresholdCharacterization out;
+    out.threshold_pct = threshold_pct;
+    const int wpd = trace.windows_per_day;
+
+    std::vector<double> cpu_per_box;
+    std::vector<double> ram_per_box;
+    std::vector<double> cpu_culprits;
+    std::vector<double> ram_culprits;
+    int boxes_cpu = 0;
+    int boxes_ram = 0;
+
+    for (const trace::BoxTrace& box : trace.boxes) {
+        const BoxTicketStats stats = count_box_tickets(
+            box, threshold_pct,
+            static_cast<std::size_t>(day) * static_cast<std::size_t>(wpd), wpd);
+        cpu_per_box.push_back(stats.total_cpu);
+        ram_per_box.push_back(stats.total_ram);
+        if (stats.total_cpu > 0) {
+            ++boxes_cpu;
+            cpu_culprits.push_back(culprit_vm_count(stats, ts::ResourceKind::kCpu));
+        }
+        if (stats.total_ram > 0) {
+            ++boxes_ram;
+            ram_culprits.push_back(culprit_vm_count(stats, ts::ResourceKind::kRam));
+        }
+    }
+
+    const double num_boxes = static_cast<double>(trace.boxes.size());
+    if (num_boxes > 0) {
+        out.boxes_with_cpu_tickets = boxes_cpu / num_boxes;
+        out.boxes_with_ram_tickets = boxes_ram / num_boxes;
+    }
+    out.mean_cpu_tickets_per_box = ts::mean(cpu_per_box);
+    out.std_cpu_tickets_per_box = ts::stddev(cpu_per_box);
+    out.mean_ram_tickets_per_box = ts::mean(ram_per_box);
+    out.std_ram_tickets_per_box = ts::stddev(ram_per_box);
+    out.mean_cpu_culprits = ts::mean(cpu_culprits);
+    out.mean_ram_culprits = ts::mean(ram_culprits);
+    return out;
+}
+
+CorrelationCharacterization characterize_correlations(const trace::Trace& trace,
+                                                      int day) {
+    CorrelationCharacterization out;
+    const int wpd = trace.windows_per_day;
+
+    for (const trace::BoxTrace& box : trace.boxes) {
+        const std::size_t m = box.vms.size();
+        std::vector<std::span<const double>> cpu(m);
+        std::vector<std::span<const double>> ram(m);
+        for (std::size_t i = 0; i < m; ++i) {
+            cpu[i] = day_slice(box.vms[i].cpu_usage_pct, day, wpd);
+            ram[i] = day_slice(box.vms[i].ram_usage_pct, day, wpd);
+        }
+        if (m == 0 || cpu.front().empty()) continue;
+
+        std::vector<double> intra_cpu;
+        std::vector<double> intra_ram;
+        std::vector<double> inter_all;
+        std::vector<double> inter_pair;
+        for (std::size_t i = 0; i < m; ++i) {
+            for (std::size_t j = i + 1; j < m; ++j) {
+                intra_cpu.push_back(ts::pearson(cpu[i], cpu[j]));
+                intra_ram.push_back(ts::pearson(ram[i], ram[j]));
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+                inter_all.push_back(ts::pearson(cpu[i], ram[j]));
+            }
+            inter_pair.push_back(ts::pearson(cpu[i], ram[i]));
+        }
+        if (!intra_cpu.empty()) out.intra_cpu.push_back(ts::median(intra_cpu));
+        if (!intra_ram.empty()) out.intra_ram.push_back(ts::median(intra_ram));
+        if (!inter_all.empty()) out.inter_all.push_back(ts::median(inter_all));
+        if (!inter_pair.empty()) out.inter_pair.push_back(ts::median(inter_pair));
+    }
+    return out;
+}
+
+}  // namespace atm::ticketing

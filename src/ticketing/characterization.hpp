@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "timeseries/resource.hpp"
+#include "tracegen/trace.hpp"
+
+namespace atm::ticketing {
+
+/// Population-level ticket statistics at one threshold — the data behind
+/// Fig. 2 of the paper (computed over one day of the trace).
+struct ThresholdCharacterization {
+    double threshold_pct = 0.0;
+    /// Fig. 2a: fraction of boxes with at least one ticket, per resource.
+    double boxes_with_cpu_tickets = 0.0;
+    double boxes_with_ram_tickets = 0.0;
+    /// Fig. 2b: mean and stddev of tickets per box, per resource.
+    double mean_cpu_tickets_per_box = 0.0;
+    double std_cpu_tickets_per_box = 0.0;
+    double mean_ram_tickets_per_box = 0.0;
+    double std_ram_tickets_per_box = 0.0;
+    /// Fig. 2c: mean number of culprit VMs (covering 80% of tickets) over
+    /// boxes that have tickets, per resource.
+    double mean_cpu_culprits = 0.0;
+    double mean_ram_culprits = 0.0;
+};
+
+/// Computes the Fig. 2 characterization for one day of the trace
+/// ([day * windows_per_day, (day+1) * windows_per_day)) at one threshold.
+ThresholdCharacterization characterize_tickets(const trace::Trace& trace,
+                                               double threshold_pct,
+                                               int day = 0);
+
+/// The four spatial-correlation classes of Section II-B / Fig. 3.
+struct CorrelationCharacterization {
+    /// Per-box *median* correlation coefficient of each class; one entry
+    /// per box that has at least one pair in the class. CDFs over these
+    /// vectors regenerate Fig. 3.
+    std::vector<double> intra_cpu;    ///< pairs of CPU series
+    std::vector<double> intra_ram;    ///< pairs of RAM series
+    std::vector<double> inter_all;    ///< any CPU x RAM pair (incl. same VM)
+    std::vector<double> inter_pair;   ///< CPU x RAM of the same VM
+};
+
+/// Computes per-box median Pearson correlations for the four classes over
+/// one day of the trace (Fig. 3 uses the April 3 day).
+CorrelationCharacterization characterize_correlations(const trace::Trace& trace,
+                                                      int day = 0);
+
+}  // namespace atm::ticketing

@@ -1,0 +1,58 @@
+#include "ticketing/incidents.hpp"
+
+#include <algorithm>
+
+namespace atm::ticketing {
+
+std::vector<Incident> extract_incidents(std::span<const double> usage_pct,
+                                        double threshold_pct,
+                                        std::size_t merge_gap) {
+    std::vector<Incident> raw;
+    std::size_t start = 0;
+    std::size_t len = 0;
+    for (std::size_t t = 0; t <= usage_pct.size(); ++t) {
+        const bool violating = t < usage_pct.size() && usage_pct[t] > threshold_pct;
+        if (violating) {
+            if (len == 0) start = t;
+            ++len;
+        } else if (len > 0) {
+            raw.push_back(Incident{start, len});
+            len = 0;
+        }
+    }
+
+    // Merge runs separated by short quiet gaps.
+    std::vector<Incident> merged;
+    for (const Incident& inc : raw) {
+        if (!merged.empty()) {
+            Incident& prev = merged.back();
+            const std::size_t prev_end = prev.first_window + prev.length;
+            if (inc.first_window - prev_end <= merge_gap) {
+                prev.length = inc.first_window + inc.length - prev.first_window;
+                continue;
+            }
+        }
+        merged.push_back(inc);
+    }
+    return merged;
+}
+
+IncidentStats summarize_incidents(std::span<const double> usage_pct,
+                                  double threshold_pct,
+                                  std::size_t merge_gap) {
+    const std::vector<Incident> incidents =
+        extract_incidents(usage_pct, threshold_pct, merge_gap);
+    IncidentStats stats;
+    stats.count = static_cast<int>(incidents.size());
+    for (const Incident& inc : incidents) {
+        stats.total_windows += static_cast<int>(inc.length);
+        stats.longest = std::max(stats.longest, inc.length);
+    }
+    if (stats.count > 0) {
+        stats.mean_duration =
+            static_cast<double>(stats.total_windows) / stats.count;
+    }
+    return stats;
+}
+
+}  // namespace atm::ticketing

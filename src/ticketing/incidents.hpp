@@ -1,0 +1,35 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::ticketing {
+
+/// A contiguous run of ticketing windows — what an operator experiences as
+/// one *incident* (monitoring systems typically dedupe per-window alerts
+/// into an open incident until usage recovers).
+struct Incident {
+    std::size_t first_window = 0;
+    std::size_t length = 0;  ///< in ticketing windows
+};
+
+/// Extracts incidents from a usage series at a threshold: maximal runs of
+/// windows with usage > threshold. Two runs separated by fewer than
+/// `merge_gap` quiet windows are merged (brief dips below the threshold
+/// do not close a real incident).
+std::vector<Incident> extract_incidents(std::span<const double> usage_pct,
+                                        double threshold_pct,
+                                        std::size_t merge_gap = 1);
+
+/// Incident-level summary of a series at a threshold.
+struct IncidentStats {
+    int count = 0;
+    double mean_duration = 0.0;    ///< windows
+    std::size_t longest = 0;       ///< windows
+    int total_windows = 0;         ///< sum of incident lengths
+};
+IncidentStats summarize_incidents(std::span<const double> usage_pct,
+                                  double threshold_pct,
+                                  std::size_t merge_gap = 1);
+
+}  // namespace atm::ticketing

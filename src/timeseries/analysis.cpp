@@ -1,0 +1,122 @@
+#include "timeseries/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "timeseries/stats.hpp"
+
+namespace atm::ts {
+
+double autocorrelation(std::span<const double> xs, int lag) {
+    if (lag < 0) throw std::invalid_argument("autocorrelation: negative lag");
+    const std::size_t n = xs.size();
+    if (static_cast<std::size_t>(lag) >= n || n < 2) return 0.0;
+    const double m = mean(xs);
+    double denom = 0.0;
+    for (double x : xs) denom += (x - m) * (x - m);
+    if (denom <= 0.0) return 0.0;
+    double num = 0.0;
+    for (std::size_t t = 0; t + static_cast<std::size_t>(lag) < n; ++t) {
+        num += (xs[t] - m) * (xs[t + static_cast<std::size_t>(lag)] - m);
+    }
+    return num / denom;
+}
+
+std::vector<double> autocorrelation_function(std::span<const double> xs,
+                                             int max_lag) {
+    std::vector<double> acf;
+    acf.reserve(static_cast<std::size_t>(std::max(max_lag, 0)) + 1);
+    for (int k = 0; k <= max_lag; ++k) acf.push_back(autocorrelation(xs, k));
+    return acf;
+}
+
+int detect_period(std::span<const double> xs, int min_period, int max_period,
+                  double min_strength) {
+    if (min_period < 1 || max_period < min_period) {
+        throw std::invalid_argument("detect_period: bad period range");
+    }
+    int best_period = 0;
+    double best = min_strength;
+    for (int p = min_period; p <= max_period; ++p) {
+        const double r = autocorrelation(xs, p);
+        if (r > best) {
+            best = r;
+            best_period = p;
+        }
+    }
+    return best_period;
+}
+
+std::vector<double> rolling_mean(std::span<const double> xs, int window) {
+    if (window < 1) throw std::invalid_argument("rolling_mean: bad window");
+    const std::size_t n = xs.size();
+    std::vector<double> out(n, 0.0);
+    const int half_back = window / 2;
+    const int half_fwd = (window - 1) / 2;
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t lo =
+            t >= static_cast<std::size_t>(half_back) ? t - static_cast<std::size_t>(half_back) : 0;
+        const std::size_t hi =
+            std::min(n - 1, t + static_cast<std::size_t>(half_fwd));
+        double acc = 0.0;
+        for (std::size_t i = lo; i <= hi; ++i) acc += xs[i];
+        out[t] = acc / static_cast<double>(hi - lo + 1);
+    }
+    return out;
+}
+
+std::vector<double> rolling_max(std::span<const double> xs, int window) {
+    if (window < 1) throw std::invalid_argument("rolling_max: bad window");
+    const std::size_t n = xs.size();
+    std::vector<double> out(n, 0.0);
+    // Monotonic deque of indices with decreasing values.
+    std::deque<std::size_t> dq;
+    for (std::size_t t = 0; t < n; ++t) {
+        while (!dq.empty() && xs[dq.back()] <= xs[t]) dq.pop_back();
+        dq.push_back(t);
+        const std::size_t lo =
+            t + 1 >= static_cast<std::size_t>(window) ? t + 1 - static_cast<std::size_t>(window) : 0;
+        while (dq.front() < lo) dq.pop_front();
+        out[t] = xs[dq.front()];
+    }
+    return out;
+}
+
+Decomposition decompose_additive(std::span<const double> xs, int period) {
+    if (period < 2) throw std::invalid_argument("decompose_additive: period < 2");
+    const std::size_t n = xs.size();
+    if (n < 2 * static_cast<std::size_t>(period)) {
+        throw std::invalid_argument("decompose_additive: need two full periods");
+    }
+    Decomposition d;
+    d.trend = rolling_mean(xs, period);
+
+    // Per-phase means of the detrended series.
+    std::vector<double> phase_sum(static_cast<std::size_t>(period), 0.0);
+    std::vector<int> phase_count(static_cast<std::size_t>(period), 0);
+    for (std::size_t t = 0; t < n; ++t) {
+        const std::size_t phase = t % static_cast<std::size_t>(period);
+        phase_sum[phase] += xs[t] - d.trend[t];
+        ++phase_count[phase];
+    }
+    std::vector<double> phase_mean(static_cast<std::size_t>(period), 0.0);
+    double grand = 0.0;
+    for (std::size_t p = 0; p < phase_mean.size(); ++p) {
+        phase_mean[p] = phase_count[p] > 0 ? phase_sum[p] / phase_count[p] : 0.0;
+        grand += phase_mean[p];
+    }
+    grand /= static_cast<double>(period);
+    for (double& v : phase_mean) v -= grand;  // normalize: seasonal sums to 0
+
+    d.seasonal.resize(n);
+    d.residual.resize(n);
+    for (std::size_t t = 0; t < n; ++t) {
+        d.seasonal[t] = phase_mean[t % static_cast<std::size_t>(period)];
+        d.residual[t] = xs[t] - d.trend[t] - d.seasonal[t];
+    }
+    return d;
+}
+
+}  // namespace atm::ts

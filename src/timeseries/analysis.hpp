@@ -1,0 +1,43 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::ts {
+
+/// Sample autocorrelation at lag k (k < n): corr(x_t, x_{t+k}) with the
+/// population normalization. Returns 0 for constant or too-short series.
+double autocorrelation(std::span<const double> xs, int lag);
+
+/// Autocorrelation function for lags 0..max_lag (inclusive). acf[0] == 1
+/// for non-constant series.
+std::vector<double> autocorrelation_function(std::span<const double> xs,
+                                             int max_lag);
+
+/// Detects the dominant seasonality by scanning the ACF for its highest
+/// peak in [min_period, max_period]. Returns 0 if no lag in range has an
+/// autocorrelation above `min_strength`. Used to sanity-check the
+/// 96-window diurnal period of data-center series.
+int detect_period(std::span<const double> xs, int min_period, int max_period,
+                  double min_strength = 0.2);
+
+/// Centered rolling mean with window w (odd windows are symmetric; even
+/// windows lean one sample to the past). Edges use the available samples.
+std::vector<double> rolling_mean(std::span<const double> xs, int window);
+
+/// Rolling maximum over the trailing `window` samples (inclusive).
+std::vector<double> rolling_max(std::span<const double> xs, int window);
+
+/// Classical additive seasonal decomposition:
+///   x_t = trend_t + seasonal_t + residual_t
+/// with the trend from a centered rolling mean of one period and the
+/// seasonal component as per-phase means of the detrended series
+/// (normalized to sum to zero). Requires at least two full periods.
+struct Decomposition {
+    std::vector<double> trend;
+    std::vector<double> seasonal;
+    std::vector<double> residual;
+};
+Decomposition decompose_additive(std::span<const double> xs, int period);
+
+}  // namespace atm::ts

@@ -1,0 +1,40 @@
+#include "timeseries/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atm::ts {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::operator()(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::inverse(double p) const {
+    if (sorted_.empty()) return 0.0;
+    p = std::clamp(p, 1.0 / static_cast<double>(sorted_.size()), 1.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted_.size())) - 1.0);
+    return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::grid(int points) const {
+    std::vector<Point> out;
+    if (sorted_.empty() || points < 2) return out;
+    const double lo = sorted_.front();
+    const double hi = sorted_.back();
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+        out.push_back(Point{x, (*this)(x)});
+    }
+    return out;
+}
+
+}  // namespace atm::ts

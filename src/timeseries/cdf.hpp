@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::ts {
+
+/// Empirical cumulative distribution function over a sample set.
+///
+/// Used to regenerate the paper's CDF figures (Fig. 3 correlation CDFs and
+/// Fig. 9 prediction-error CDFs). Construction sorts a copy of the samples;
+/// evaluation is O(log n).
+class EmpiricalCdf {
+  public:
+    EmpiricalCdf() = default;
+
+    /// Builds the ECDF from samples (order irrelevant, duplicates allowed).
+    explicit EmpiricalCdf(std::span<const double> samples);
+
+    /// Fraction of samples <= x, in [0, 1]. Returns 0 for an empty CDF.
+    [[nodiscard]] double operator()(double x) const;
+
+    /// Inverse CDF: smallest sample value v such that F(v) >= p.
+    /// p is clamped to (0, 1]; returns 0 for an empty CDF.
+    [[nodiscard]] double inverse(double p) const;
+
+    [[nodiscard]] std::size_t sample_count() const { return sorted_.size(); }
+    [[nodiscard]] bool empty() const { return sorted_.empty(); }
+
+    /// Sorted samples (ascending) backing the CDF.
+    [[nodiscard]] const std::vector<double>& sorted_samples() const { return sorted_; }
+
+    /// Evaluates the CDF on an evenly spaced grid of `points` x-values
+    /// spanning [min_sample, max_sample]; convenient for printing the
+    /// figures as (x, F(x)) rows. Returns an empty vector if the CDF is
+    /// empty or points < 2.
+    struct Point {
+        double x = 0.0;
+        double f = 0.0;
+    };
+    [[nodiscard]] std::vector<Point> grid(int points) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace atm::ts

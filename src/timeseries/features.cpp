@@ -1,0 +1,80 @@
+#include "timeseries/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/stats.hpp"
+
+namespace atm::ts {
+
+void MinMaxScaler::fit(std::span<const double> xs) {
+    if (xs.empty()) {
+        min_ = 0.0;
+        max_ = 1.0;
+        return;
+    }
+    min_ = *std::min_element(xs.begin(), xs.end());
+    max_ = *std::max_element(xs.begin(), xs.end());
+}
+
+double MinMaxScaler::transform(double x) const {
+    const double range = max_ - min_;
+    if (range <= 0.0) return 0.5;
+    return (x - min_) / range;
+}
+
+double MinMaxScaler::inverse(double y) const {
+    const double range = max_ - min_;
+    if (range <= 0.0) return min_;
+    return min_ + y * range;
+}
+
+std::vector<double> MinMaxScaler::transform(std::span<const double> xs) const {
+    std::vector<double> out(xs.size());
+    std::transform(xs.begin(), xs.end(), out.begin(),
+                   [this](double x) { return transform(x); });
+    return out;
+}
+
+void StandardScaler::fit(std::span<const double> xs) {
+    mean_ = ts::mean(xs);
+    stddev_ = ts::stddev(xs);
+    if (stddev_ <= 0.0) stddev_ = 1.0;
+}
+
+double StandardScaler::transform(double x) const { return (x - mean_) / stddev_; }
+
+double StandardScaler::inverse(double z) const { return mean_ + z * stddev_; }
+
+std::vector<double> StandardScaler::transform(std::span<const double> xs) const {
+    std::vector<double> out(xs.size());
+    std::transform(xs.begin(), xs.end(), out.begin(),
+                   [this](double x) { return transform(x); });
+    return out;
+}
+
+std::vector<LagExample> make_lag_dataset(std::span<const double> xs,
+                                         int num_lags,
+                                         int seasonal_period) {
+    std::vector<LagExample> out;
+    if (num_lags <= 0) return out;
+    const auto history = static_cast<std::size_t>(
+        std::max(num_lags, seasonal_period));
+    if (xs.size() <= history) return out;
+    for (std::size_t t = history; t < xs.size(); ++t) {
+        LagExample ex;
+        ex.lags.reserve(static_cast<std::size_t>(num_lags) +
+                        (seasonal_period > 0 ? 1 : 0));
+        for (int k = num_lags; k >= 1; --k) {
+            ex.lags.push_back(xs[t - static_cast<std::size_t>(k)]);
+        }
+        if (seasonal_period > 0) {
+            ex.lags.push_back(xs[t - static_cast<std::size_t>(seasonal_period)]);
+        }
+        ex.target = xs[t];
+        out.push_back(std::move(ex));
+    }
+    return out;
+}
+
+}  // namespace atm::ts

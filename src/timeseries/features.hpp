@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::ts {
+
+/// Min-max scaler mapping samples into [0, 1]; inverse-transform restores
+/// the original scale. Degenerate (constant) inputs map to 0.5.
+///
+/// Forecast models (MLP in particular) train on scaled targets; the
+/// forecaster interface scales inputs and unscales predictions with this.
+class MinMaxScaler {
+  public:
+    MinMaxScaler() = default;
+
+    /// Learns min/max from the samples.
+    void fit(std::span<const double> xs);
+
+    [[nodiscard]] double transform(double x) const;
+    [[nodiscard]] double inverse(double y) const;
+
+    [[nodiscard]] std::vector<double> transform(std::span<const double> xs) const;
+
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+
+  private:
+    double min_ = 0.0;
+    double max_ = 1.0;
+};
+
+/// Z-score scaler (subtract mean, divide by stddev). Constant inputs map
+/// to 0.
+class StandardScaler {
+  public:
+    void fit(std::span<const double> xs);
+    [[nodiscard]] double transform(double x) const;
+    [[nodiscard]] double inverse(double z) const;
+    [[nodiscard]] std::vector<double> transform(std::span<const double> xs) const;
+
+    [[nodiscard]] double mean() const { return mean_; }
+    [[nodiscard]] double stddev() const { return stddev_; }
+
+  private:
+    double mean_ = 0.0;
+    double stddev_ = 1.0;
+};
+
+/// One supervised training example for autoregressive forecasting:
+/// `lags` holds the most recent `p` samples (lags[0] = t-p ... lags[p-1]
+/// = t-1) optionally followed by seasonal lags, `target` is the sample at t.
+struct LagExample {
+    std::vector<double> lags;
+    double target = 0.0;
+};
+
+/// Builds a supervised lag dataset from a series.
+///
+/// Each example uses `num_lags` consecutive past samples; if
+/// `seasonal_period > 0` one extra feature per example holds the sample one
+/// season back (t - seasonal_period), capturing diurnal periodicity (96
+/// windows/day at 15-minute sampling). Series shorter than the required
+/// history yield an empty dataset.
+std::vector<LagExample> make_lag_dataset(std::span<const double> xs,
+                                         int num_lags,
+                                         int seasonal_period = 0);
+
+}  // namespace atm::ts

@@ -1,0 +1,68 @@
+#include "timeseries/repair.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace atm::ts {
+
+std::vector<Gap> find_gaps(std::span<const double> xs, double floor,
+                           std::size_t min_run) {
+    std::vector<Gap> gaps;
+    std::size_t run_start = 0;
+    std::size_t run_len = 0;
+    for (std::size_t t = 0; t <= xs.size(); ++t) {
+        const bool missing = t < xs.size() && xs[t] <= floor;
+        if (missing) {
+            if (run_len == 0) run_start = t;
+            ++run_len;
+        } else if (run_len > 0) {
+            if (run_len >= min_run) gaps.push_back(Gap{run_start, run_len});
+            run_len = 0;
+        }
+    }
+    return gaps;
+}
+
+std::vector<double> repair_gaps(std::span<const double> xs,
+                                const std::vector<Gap>& gaps,
+                                RepairMethod method, int period) {
+    if (period < 1) throw std::invalid_argument("repair_gaps: bad period");
+    std::vector<double> out(xs.begin(), xs.end());
+    for (const Gap& gap : gaps) {
+        if (gap.first >= out.size() || gap.length == 0) continue;
+        const std::size_t last = std::min(out.size(), gap.first + gap.length);
+        const bool has_left = gap.first > 0;
+        const bool has_right = last < out.size();
+        const double left = has_left ? out[gap.first - 1] : 0.0;
+        const double right = has_right ? out[last] : 0.0;
+        for (std::size_t t = gap.first; t < last; ++t) {
+            if (method == RepairMethod::kSeasonal &&
+                t >= static_cast<std::size_t>(period)) {
+                const double prior = out[t - static_cast<std::size_t>(period)];
+                // The prior-period sample may itself sit in a (repaired or
+                // unrepaired) gap; only trust it when it looks valid.
+                if (prior > 1e-9) {
+                    out[t] = prior;
+                    continue;
+                }
+            }
+            if (has_left && has_right) {
+                const double frac = static_cast<double>(t - gap.first + 1) /
+                                    static_cast<double>(gap.length + 1);
+                out[t] = left * (1.0 - frac) + right * frac;
+            } else if (has_left) {
+                out[t] = left;
+            } else if (has_right) {
+                out[t] = right;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double> repair_series(std::span<const double> xs,
+                                  RepairMethod method, int period) {
+    return repair_gaps(xs, find_gaps(xs), method, period);
+}
+
+}  // namespace atm::ts

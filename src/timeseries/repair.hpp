@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace atm::ts {
+
+/// A run of missing samples [first, first + length).
+struct Gap {
+    std::size_t first = 0;
+    std::size_t length = 0;
+};
+
+/// Finds monitoring gaps: maximal runs of samples below `floor`
+/// (monitoring outages are stored as zeros in the trace; utilization of a
+/// running VM never genuinely reaches zero). Runs shorter than
+/// `min_run` are ignored (a single zero-ish sample can be legitimate).
+std::vector<Gap> find_gaps(std::span<const double> xs, double floor = 1e-9,
+                           std::size_t min_run = 2);
+
+/// Gap repair strategy.
+enum class RepairMethod {
+    kLinear,    ///< linear interpolation between the gap's neighbors
+    kSeasonal,  ///< copy the value one period before (falls back to linear
+                ///< when no prior period exists)
+};
+
+/// Returns a copy of the series with all `gaps` filled. For kSeasonal,
+/// `period` is the seasonality in samples (96 for daily patterns at
+/// 15-minute windows). Gaps touching the series edges are filled with the
+/// nearest valid value. The paper drops gappy boxes from its Section V
+/// study; repair lets the remaining 6K-box analyses (Sections II-IV) use
+/// them without bias from zero runs.
+std::vector<double> repair_gaps(std::span<const double> xs,
+                                const std::vector<Gap>& gaps,
+                                RepairMethod method = RepairMethod::kSeasonal,
+                                int period = 96);
+
+/// Convenience: find_gaps + repair_gaps.
+std::vector<double> repair_series(std::span<const double> xs,
+                                  RepairMethod method = RepairMethod::kSeasonal,
+                                  int period = 96);
+
+}  // namespace atm::ts

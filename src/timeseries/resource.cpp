@@ -1,0 +1,13 @@
+#include "timeseries/resource.hpp"
+
+namespace atm::ts {
+
+std::string to_string(ResourceKind kind) {
+    switch (kind) {
+        case ResourceKind::kCpu: return "CPU";
+        case ResourceKind::kRam: return "RAM";
+    }
+    return "UNKNOWN";
+}
+
+}  // namespace atm::ts

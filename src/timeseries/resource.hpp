@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace atm::ts {
+
+/// Kind of physical/virtual resource a usage or demand series refers to.
+///
+/// The paper (Section II) considers two resources per VM: CPU (measured in
+/// GHz for demand, percent for usage) and RAM (GB / percent).
+enum class ResourceKind : std::uint8_t {
+    kCpu = 0,
+    kRam = 1,
+};
+
+/// Number of distinct resources tracked per VM ("N" in the paper).
+inline constexpr int kNumResources = 2;
+
+/// Human-readable name for a resource kind ("CPU" / "RAM").
+std::string to_string(ResourceKind kind);
+
+/// Identifies one demand/usage series within a physical box:
+/// the series of resource `resource` of co-located VM `vm_index`.
+///
+/// A box hosting M VMs has M * kNumResources series, indexed by
+/// `flat_index() = vm_index * kNumResources + resource`.
+struct SeriesId {
+    int vm_index = 0;
+    ResourceKind resource = ResourceKind::kCpu;
+
+    /// Flattened index into the box's series array (VM-major order).
+    [[nodiscard]] int flat_index() const {
+        return vm_index * kNumResources + static_cast<int>(resource);
+    }
+
+    /// Inverse of flat_index().
+    static SeriesId from_flat(int flat) {
+        return SeriesId{flat / kNumResources,
+                        static_cast<ResourceKind>(flat % kNumResources)};
+    }
+
+    friend bool operator==(const SeriesId&, const SeriesId&) = default;
+};
+
+}  // namespace atm::ts

@@ -1,0 +1,35 @@
+#include "tracegen/trace.hpp"
+
+namespace atm::trace {
+
+std::vector<std::vector<double>> BoxTrace::usage_matrix() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(vms.size() * ts::kNumResources);
+    for (const VmTrace& vm : vms) {
+        out.push_back(vm.cpu_usage_pct.values());
+        out.push_back(vm.ram_usage_pct.values());
+    }
+    return out;
+}
+
+std::vector<std::vector<double>> BoxTrace::demand_matrix() const {
+    std::vector<std::vector<double>> out;
+    out.reserve(vms.size() * ts::kNumResources);
+    for (const VmTrace& vm : vms) {
+        out.push_back(vm.cpu_demand_ghz.values());
+        out.push_back(vm.ram_demand_gb.values());
+    }
+    return out;
+}
+
+std::size_t Trace::total_vms() const {
+    std::size_t count = 0;
+    for (const BoxTrace& box : boxes) count += box.vms.size();
+    return count;
+}
+
+std::size_t Trace::total_series() const {
+    return total_vms() * ts::kNumResources;
+}
+
+}  // namespace atm::trace

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "timeseries/analysis.hpp"
+#include "timeseries/repair.hpp"
+#include "timeseries/stats.hpp"
+
+namespace atm::ts {
+namespace {
+
+std::vector<double> sine_series(int n, int period, double noise_sigma,
+                                unsigned seed) {
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> noise(0.0, noise_sigma);
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+        xs[static_cast<std::size_t>(t)] =
+            10.0 + 4.0 * std::sin(2.0 * std::numbers::pi * t / period) + noise(rng);
+    }
+    return xs;
+}
+
+TEST(AcfTest, LagZeroIsOne) {
+    const auto xs = sine_series(200, 24, 0.5, 1);
+    EXPECT_NEAR(autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(AcfTest, PeriodicSeriesPeaksAtPeriod) {
+    const auto xs = sine_series(240, 24, 0.3, 2);
+    EXPECT_GT(autocorrelation(xs, 24), 0.8);
+    EXPECT_LT(autocorrelation(xs, 12), 0.0);  // anti-phase
+}
+
+TEST(AcfTest, WhiteNoiseNearZero) {
+    std::mt19937 rng(3);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    std::vector<double> xs(500);
+    for (double& v : xs) v = noise(rng);
+    for (int lag : {1, 5, 20}) {
+        EXPECT_LT(std::abs(autocorrelation(xs, lag)), 0.15) << "lag " << lag;
+    }
+}
+
+TEST(AcfTest, ConstantSeriesIsZero) {
+    const std::vector<double> flat(50, 7.0);
+    EXPECT_DOUBLE_EQ(autocorrelation(flat, 1), 0.0);
+}
+
+TEST(AcfTest, FunctionHasRightLength) {
+    const auto xs = sine_series(100, 10, 0.1, 4);
+    const auto acf = autocorrelation_function(xs, 20);
+    ASSERT_EQ(acf.size(), 21u);
+    EXPECT_NEAR(acf[0], 1.0, 1e-12);
+}
+
+TEST(AcfTest, NegativeLagThrows) {
+    const std::vector<double> xs{1, 2, 3};
+    EXPECT_THROW(autocorrelation(xs, -1), std::invalid_argument);
+}
+
+TEST(DetectPeriodTest, FindsDiurnalPeriod) {
+    const auto xs = sine_series(96 * 4, 96, 1.0, 5);
+    EXPECT_EQ(detect_period(xs, 48, 144), 96);
+}
+
+TEST(DetectPeriodTest, NoiseHasNoPeriod) {
+    std::mt19937 rng(6);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    std::vector<double> xs(400);
+    for (double& v : xs) v = noise(rng);
+    EXPECT_EQ(detect_period(xs, 10, 100, 0.3), 0);
+}
+
+TEST(RollingTest, MeanOfConstantIsConstant) {
+    const std::vector<double> flat(20, 3.0);
+    for (double v : rolling_mean(flat, 5)) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(RollingTest, MeanSmoothsSpike) {
+    std::vector<double> xs(11, 0.0);
+    xs[5] = 10.0;
+    const auto smoothed = rolling_mean(xs, 5);
+    EXPECT_NEAR(smoothed[5], 2.0, 1e-12);
+    EXPECT_NEAR(smoothed[3], 2.0, 1e-12);  // spike inside the window
+    EXPECT_DOUBLE_EQ(smoothed[0], 0.0);
+}
+
+TEST(RollingTest, MaxTracksWindow) {
+    const std::vector<double> xs{1, 5, 2, 0, 0, 7, 1};
+    const auto mx = rolling_max(xs, 3);
+    const std::vector<double> expected{1, 5, 5, 5, 2, 7, 7};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(mx[i], expected[i]) << i;
+    }
+}
+
+TEST(RollingTest, BadWindowThrows) {
+    const std::vector<double> xs{1, 2};
+    EXPECT_THROW(rolling_mean(xs, 0), std::invalid_argument);
+    EXPECT_THROW(rolling_max(xs, 0), std::invalid_argument);
+}
+
+TEST(DecomposeTest, RecoversComponents) {
+    // Linear trend + clean seasonal.
+    const int period = 12;
+    std::vector<double> xs(period * 6);
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        xs[t] = 0.1 * static_cast<double>(t) +
+                3.0 * std::sin(2.0 * std::numbers::pi *
+                               static_cast<double>(t % 12) / 12.0);
+    }
+    const Decomposition d = decompose_additive(xs, period);
+    // Away from the edges the residual is small.
+    double max_resid = 0.0;
+    for (std::size_t t = static_cast<std::size_t>(period);
+         t + static_cast<std::size_t>(period) < xs.size(); ++t) {
+        max_resid = std::max(max_resid, std::abs(d.residual[t]));
+    }
+    EXPECT_LT(max_resid, 0.8);
+    // Seasonal component sums to ~0 over one period.
+    double sum = 0.0;
+    for (int p = 0; p < period; ++p) sum += d.seasonal[static_cast<std::size_t>(p)];
+    EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(DecomposeTest, ReconstructionIsExact) {
+    const auto xs = sine_series(96, 24, 0.8, 7);
+    const Decomposition d = decompose_additive(xs, 24);
+    for (std::size_t t = 0; t < xs.size(); ++t) {
+        EXPECT_NEAR(xs[t], d.trend[t] + d.seasonal[t] + d.residual[t], 1e-9);
+    }
+}
+
+TEST(DecomposeTest, TooShortThrows) {
+    const std::vector<double> xs(30, 1.0);
+    EXPECT_THROW(decompose_additive(xs, 24), std::invalid_argument);
+    EXPECT_THROW(decompose_additive(xs, 1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- repair
+
+TEST(GapTest, FindsZeroRuns) {
+    const std::vector<double> xs{5, 0, 0, 0, 6, 0, 7, 0, 0};
+    const auto gaps = find_gaps(xs);
+    ASSERT_EQ(gaps.size(), 2u);  // single zero at index 5 ignored (min_run 2)
+    EXPECT_EQ(gaps[0].first, 1u);
+    EXPECT_EQ(gaps[0].length, 3u);
+    EXPECT_EQ(gaps[1].first, 7u);
+    EXPECT_EQ(gaps[1].length, 2u);
+}
+
+TEST(GapTest, MinRunRespected) {
+    const std::vector<double> xs{5, 0, 6, 0, 0, 7};
+    EXPECT_EQ(find_gaps(xs, 1e-9, 1).size(), 2u);
+    EXPECT_EQ(find_gaps(xs, 1e-9, 2).size(), 1u);
+    EXPECT_EQ(find_gaps(xs, 1e-9, 3).size(), 0u);
+}
+
+TEST(GapTest, NoGapsInCleanSeries) {
+    const std::vector<double> xs{1, 2, 3, 4};
+    EXPECT_TRUE(find_gaps(xs).empty());
+}
+
+TEST(RepairTest, LinearInterpolation) {
+    const std::vector<double> xs{10, 0, 0, 0, 50};
+    const auto fixed = repair_gaps(xs, find_gaps(xs), RepairMethod::kLinear);
+    EXPECT_DOUBLE_EQ(fixed[1], 20.0);
+    EXPECT_DOUBLE_EQ(fixed[2], 30.0);
+    EXPECT_DOUBLE_EQ(fixed[3], 40.0);
+    EXPECT_DOUBLE_EQ(fixed[0], 10.0);
+    EXPECT_DOUBLE_EQ(fixed[4], 50.0);
+}
+
+TEST(RepairTest, SeasonalCopiesPriorPeriod) {
+    // Period 4; the gap at positions 5-6 copies positions 1-2.
+    const std::vector<double> xs{1, 2, 3, 4, 1, 0, 0, 4};
+    const auto fixed = repair_gaps(xs, find_gaps(xs), RepairMethod::kSeasonal, 4);
+    EXPECT_DOUBLE_EQ(fixed[5], 2.0);
+    EXPECT_DOUBLE_EQ(fixed[6], 3.0);
+}
+
+TEST(RepairTest, SeasonalFallsBackToLinearInFirstPeriod) {
+    const std::vector<double> xs{10, 0, 0, 40, 5, 6, 7, 8};
+    const auto fixed = repair_gaps(xs, find_gaps(xs), RepairMethod::kSeasonal, 4);
+    EXPECT_DOUBLE_EQ(fixed[1], 20.0);
+    EXPECT_DOUBLE_EQ(fixed[2], 30.0);
+}
+
+TEST(RepairTest, EdgeGapsUseNearestValue) {
+    const std::vector<double> head{0, 0, 9, 9};
+    const auto fixed_head =
+        repair_gaps(head, find_gaps(head), RepairMethod::kLinear);
+    EXPECT_DOUBLE_EQ(fixed_head[0], 9.0);
+    EXPECT_DOUBLE_EQ(fixed_head[1], 9.0);
+
+    const std::vector<double> tail{7, 7, 0, 0};
+    const auto fixed_tail =
+        repair_gaps(tail, find_gaps(tail), RepairMethod::kLinear);
+    EXPECT_DOUBLE_EQ(fixed_tail[2], 7.0);
+    EXPECT_DOUBLE_EQ(fixed_tail[3], 7.0);
+}
+
+TEST(RepairTest, RepairSeriesConvenience) {
+    const auto clean = sine_series(96 * 2, 96, 0.0, 8);
+    std::vector<double> gappy = clean;
+    for (std::size_t t = 120; t < 130; ++t) gappy[t] = 0.0;
+    const auto fixed = repair_series(gappy, RepairMethod::kSeasonal, 96);
+    double max_err = 0.0;
+    for (std::size_t t = 120; t < 130; ++t) {
+        max_err = std::max(max_err, std::abs(fixed[t] - clean[t]));
+    }
+    EXPECT_LT(max_err, 0.5);  // seasonal copy restores the clean pattern
+}
+
+TEST(RepairTest, NoGapsIsIdentity) {
+    const std::vector<double> xs{1, 2, 3};
+    EXPECT_EQ(repair_series(xs), xs);
+}
+
+}  // namespace
+}  // namespace atm::ts

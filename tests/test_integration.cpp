@@ -1,0 +1,236 @@
+// Cross-module integration tests: full flows through generator ->
+// repair/characterization -> signature search -> spatial model ->
+// forecasting -> resizing, plus end-to-end determinism and conservation
+// properties that only hold when the modules agree on conventions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/pipeline.hpp"
+#include "core/rolling.hpp"
+#include "forecast/holt_winters.hpp"
+#include "mediawiki/simulator.hpp"
+#include "resize/drf.hpp"
+#include "ticketing/characterization.hpp"
+#include "ticketing/incidents.hpp"
+#include "timeseries/analysis.hpp"
+#include "timeseries/repair.hpp"
+#include "timeseries/stats.hpp"
+#include "tracegen/generator.hpp"
+
+namespace atm {
+namespace {
+
+trace::TraceGenOptions base_options() {
+    trace::TraceGenOptions options;
+    options.num_boxes = 8;
+    options.num_days = 6;
+    options.gappy_box_fraction = 0.0;
+    options.seed = 77;
+    return options;
+}
+
+TEST(IntegrationTest, EndToEndDeterminism) {
+    // The identical pipeline on identical inputs produces identical
+    // predictions and allocations — across every stochastic component
+    // (generator, MLP init/shuffle).
+    const trace::BoxTrace box = trace::generate_box(base_options(), 2);
+    core::PipelineConfig config;
+    config.temporal = forecast::TemporalModel::kNeuralNetwork;
+    const auto a = core::run_pipeline_on_box(box, 96, config,
+                                             {resize::ResizePolicy::kAtmGreedy});
+    const auto b = core::run_pipeline_on_box(box, 96, config,
+                                             {resize::ResizePolicy::kAtmGreedy});
+    EXPECT_EQ(a.search.signatures, b.search.signatures);
+    EXPECT_DOUBLE_EQ(a.ape_all, b.ape_all);
+    EXPECT_EQ(a.policies[0].cpu_after, b.policies[0].cpu_after);
+    EXPECT_EQ(a.predicted_demands, b.predicted_demands);
+}
+
+TEST(IntegrationTest, GapRepairRestoresCharacterization) {
+    // Inject gaps into a clean box, repair, and verify the day-0
+    // correlation structure is close to the clean one.
+    trace::TraceGenOptions options = base_options();
+    options.num_days = 2;
+    const trace::BoxTrace clean = trace::generate_box(options, 4);
+
+    trace::BoxTrace gappy = clean;
+    for (trace::VmTrace& vm : gappy.vms) {
+        // Gap on day 1 so the seasonal repair has a prior period to copy.
+        for (std::size_t t = 126; t < 141; ++t) {
+            vm.cpu_usage_pct[t] = 0.0;
+            vm.ram_usage_pct[t] = 0.0;
+        }
+    }
+    trace::BoxTrace repaired = gappy;
+    for (trace::VmTrace& vm : repaired.vms) {
+        vm.cpu_usage_pct = ts::Series(
+            vm.cpu_usage_pct.name(),
+            ts::repair_series(vm.cpu_usage_pct.view(), ts::RepairMethod::kSeasonal, 96));
+        vm.ram_usage_pct = ts::Series(
+            vm.ram_usage_pct.name(),
+            ts::repair_series(vm.ram_usage_pct.view(), ts::RepairMethod::kSeasonal, 96));
+    }
+
+    const auto& vm0_clean = clean.vms[0].cpu_usage_pct;
+    const auto& vm0_rep = repaired.vms[0].cpu_usage_pct;
+    // Repaired series close to the clean one on the gap (day-2 seasonal
+    // copy); the gappy one is just zero there.
+    double err_rep = 0.0;
+    double err_gap = 0.0;
+    for (std::size_t t = 126; t < 141; ++t) {
+        err_rep += std::abs(vm0_rep[t] - vm0_clean[t]);
+        err_gap += std::abs(gappy.vms[0].cpu_usage_pct[t] - vm0_clean[t]);
+    }
+    EXPECT_LT(err_rep, 0.6 * err_gap);
+}
+
+TEST(IntegrationTest, DetectPeriodFindsDiurnalCycleInTrace) {
+    const trace::BoxTrace box = trace::generate_box(base_options(), 1);
+    // A driver-following VM should show the 96-window daily period. Scan
+    // all VMs; at least one must lock onto ~96.
+    int found = 0;
+    for (const trace::VmTrace& vm : box.vms) {
+        const int p = ts::detect_period(vm.cpu_usage_pct.view(), 48, 144, 0.25);
+        if (p >= 90 && p <= 102) ++found;
+    }
+    EXPECT_GE(found, 1);
+}
+
+TEST(IntegrationTest, IncidentsConsistentWithTicketCounts) {
+    const trace::BoxTrace box = trace::generate_box(base_options(), 0);
+    for (const trace::VmTrace& vm : box.vms) {
+        const auto stats =
+            ticketing::summarize_incidents(vm.cpu_usage_pct.view(), 60.0, 0);
+        const int tickets =
+            ticketing::count_usage_tickets(vm.cpu_usage_pct.view(), 60.0);
+        // With merge_gap 0 the incident windows partition the tickets.
+        EXPECT_EQ(stats.total_windows, tickets) << vm.name;
+    }
+}
+
+TEST(IntegrationTest, PipelineCapacityConservation) {
+    // Whatever the policy, allocated capacity never exceeds the box's.
+    const trace::BoxTrace box = trace::generate_box(base_options(), 3);
+    const auto demands = box.demand_matrix();
+    for (auto policy : {resize::ResizePolicy::kAtmGreedy,
+                        resize::ResizePolicy::kAtmGreedyNoDiscretization,
+                        resize::ResizePolicy::kMaxMinFairness}) {
+        resize::ResizeInput input;
+        input.alpha = 0.6;
+        input.total_capacity = box.cpu_capacity_ghz;
+        for (std::size_t i = 0; i < box.vms.size(); ++i) {
+            const auto& row = demands[i * 2];
+            input.demands.emplace_back(row.end() - 96, row.end());
+            input.current_capacities.push_back(box.vms[i].cpu_capacity_ghz);
+        }
+        const auto result = resize::apply_policy(policy, input);
+        const double used = std::accumulate(result.capacities.begin(),
+                                            result.capacities.end(), 0.0);
+        EXPECT_LE(used, box.cpu_capacity_ghz + 1e-6) << resize::to_string(policy);
+    }
+}
+
+TEST(IntegrationTest, HoltWintersPluggedIntoPipeline) {
+    const trace::BoxTrace box = trace::generate_box(base_options(), 5);
+    core::PipelineConfig config;
+    config.temporal = forecast::TemporalModel::kHoltWinters;
+    const auto result = core::run_pipeline_on_box(
+        box, 96, config, {resize::ResizePolicy::kAtmGreedy});
+    EXPECT_GT(result.ape_all, 0.0);
+    EXPECT_LT(result.ape_all, 1.2);
+}
+
+TEST(IntegrationTest, RollingMatchesOneShotOnFinalDay) {
+    // The rolling pipeline's last day uses the same training window as a
+    // one-shot run on the 6-day suffix: results must agree exactly.
+    trace::TraceGenOptions options = base_options();
+    options.num_days = 7;
+    const trace::BoxTrace box = trace::generate_box(options, 6);
+
+    core::PipelineConfig config;
+    config.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.train_days = 5;
+
+    const auto rolling = core::run_rolling_pipeline(box, 96, 7, config);
+    ASSERT_EQ(rolling.days.size(), 2u);
+
+    trace::BoxTrace suffix = box;
+    const std::size_t first = 96;  // days 1..6
+    for (trace::VmTrace& vm : suffix.vms) {
+        vm.cpu_usage_pct = vm.cpu_usage_pct.slice(first, 6 * 96);
+        vm.ram_usage_pct = vm.ram_usage_pct.slice(first, 6 * 96);
+        vm.cpu_demand_ghz = vm.cpu_demand_ghz.slice(first, 6 * 96);
+        vm.ram_demand_gb = vm.ram_demand_gb.slice(first, 6 * 96);
+    }
+    const auto one_shot = core::run_pipeline_on_box(
+        suffix, 96, config, {resize::ResizePolicy::kAtmGreedy});
+    EXPECT_DOUBLE_EQ(rolling.days[1].ape_all, one_shot.ape_all);
+    EXPECT_EQ(rolling.days[1].cpu_after, one_shot.policies[0].cpu_after);
+}
+
+TEST(IntegrationTest, DrfNeverBeatsAtmOnTickets) {
+    // ATM optimizes tickets directly; DRF optimizes fairness. On any box
+    // ATM's combined ticket count is <= DRF's (sanity of both).
+    trace::TraceGenOptions options = base_options();
+    options.num_days = 2;
+    for (int b = 0; b < 6; ++b) {
+        const trace::BoxTrace box = trace::generate_box(options, b);
+        const auto demands = box.demand_matrix();
+        resize::MultiResourceInput multi;
+        multi.alpha = 0.6;
+        multi.cpu_capacity = box.cpu_capacity_ghz;
+        multi.ram_capacity = box.ram_capacity_gb;
+        for (std::size_t i = 0; i < box.vms.size(); ++i) {
+            const auto& cpu_row = demands[i * 2];
+            const auto& ram_row = demands[i * 2 + 1];
+            multi.cpu_demands.emplace_back(cpu_row.end() - 96, cpu_row.end());
+            multi.ram_demands.emplace_back(ram_row.end() - 96, ram_row.end());
+        }
+        const auto drf = resize::drf_resize(multi);
+
+        const auto atm_results = core::evaluate_resize_policies_on_actuals(
+            box, 96, 1, 0.6, 0.0, {resize::ResizePolicy::kAtmGreedy},
+            /*use_lower_bounds=*/false);
+        const int atm_total = atm_results[0].cpu_after + atm_results[0].ram_after;
+        EXPECT_LE(atm_total, drf.cpu_tickets + drf.ram_tickets + 1) << "box " << b;
+    }
+}
+
+TEST(IntegrationTest, WikiDemandsDriveGenericResizeLayer) {
+    // The MediaWiki simulator's demand output plugs into the generic
+    // resize API (not only resize_with_atm).
+    const wiki::TestbedSpec spec = wiki::make_mediawiki_testbed();
+    const wiki::SimResult sim = wiki::simulate(spec);
+    resize::ResizeInput input;
+    input.alpha = 0.6;
+    input.total_capacity = 8.0;
+    for (std::size_t i = 0; i < spec.vms.size(); ++i) {
+        if (spec.vms[i].node == 4) input.demands.push_back(sim.vm_cpu_demand_cores[i]);
+    }
+    ASSERT_FALSE(input.demands.empty());
+    const auto result = resize::atm_resize(input);
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.tickets, 0);  // node 4 fits within 8 cores at 60%
+}
+
+TEST(IntegrationTest, CharacterizationScalesWithPopulation) {
+    // Per-box statistics are population-size invariant (same seed, boxes
+    // are generated independently): a 30-box prefix of a 60-box trace
+    // gives identical per-box numbers.
+    trace::TraceGenOptions options = base_options();
+    options.num_days = 1;
+    options.gappy_box_fraction = 0.3;
+    options.num_boxes = 60;
+    const trace::Trace big = trace::generate_trace(options);
+    options.num_boxes = 30;
+    const trace::Trace small = trace::generate_trace(options);
+    const auto big_stats = ticketing::count_box_tickets(big.boxes[12], 60.0);
+    const auto small_stats = ticketing::count_box_tickets(small.boxes[12], 60.0);
+    EXPECT_EQ(big_stats.cpu_tickets_per_vm, small_stats.cpu_tickets_per_vm);
+}
+
+}  // namespace
+}  // namespace atm

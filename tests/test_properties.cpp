@@ -1,0 +1,218 @@
+// Cross-cutting property suites: parameterized sweeps over thresholds,
+// epsilon values and seeds verifying invariants the algorithms must hold
+// for *any* parameter choice, not just the paper's defaults.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/pipeline.hpp"
+#include "resize/mckp.hpp"
+#include "resize/policies.hpp"
+#include "resize/reduced_demand.hpp"
+#include "tracegen/generator.hpp"
+
+namespace atm {
+namespace {
+
+// ------------------------------------------------- reduced demand vs alpha
+
+class AlphaPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaPropertyTest, CandidateInvariants) {
+    const double alpha = GetParam();
+    std::mt19937 rng(99);
+    std::uniform_real_distribution<double> dist(0.0, 20.0);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> demand(24);
+        for (double& d : demand) d = dist(rng);
+        const auto set = resize::build_reduced_demand_set(demand, alpha, 0.0);
+        ASSERT_FALSE(set.candidates.empty());
+        // Capacity strictly decreasing, tickets non-decreasing, capacity =
+        // level / alpha, and the top candidate has zero tickets.
+        EXPECT_EQ(set.candidates.front().tickets, 0);
+        for (std::size_t v = 0; v < set.candidates.size(); ++v) {
+            const auto& c = set.candidates[v];
+            if (c.demand_level > 0.0) {
+                EXPECT_NEAR(c.capacity, c.demand_level / alpha, 1e-9);
+            }
+            if (v > 0) {
+                EXPECT_LT(c.capacity, set.candidates[v - 1].capacity);
+                EXPECT_GE(c.tickets, set.candidates[v - 1].tickets);
+            }
+        }
+        // The zero candidate tickets every positive-demand window.
+        int positive = 0;
+        for (double d : demand) {
+            if (d > 1e-12) ++positive;
+        }
+        EXPECT_EQ(set.candidates.back().tickets, positive);
+    }
+}
+
+TEST_P(AlphaPropertyTest, TicketCountMatchesDirectEvaluation) {
+    const double alpha = GetParam();
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> dist(0.0, 50.0);
+    std::vector<double> demand(48);
+    for (double& d : demand) d = dist(rng);
+    const auto set = resize::build_reduced_demand_set(demand, alpha, 0.0);
+    for (const auto& c : set.candidates) {
+        int direct = 0;
+        for (double d : demand) {
+            if (d > alpha * c.capacity + 1e-9) ++direct;
+        }
+        EXPECT_EQ(c.tickets, direct) << "capacity " << c.capacity;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaPropertyTest,
+                         ::testing::Values(0.3, 0.5, 0.6, 0.7, 0.8, 1.0));
+
+// ------------------------------------------------------- epsilon monotone
+
+class EpsilonPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsilonPropertyTest, DiscretizationShrinksCandidateSets) {
+    const double epsilon = GetParam();
+    std::mt19937 rng(3);
+    std::uniform_real_distribution<double> dist(0.0, 40.0);
+    std::vector<double> demand(96);
+    for (double& d : demand) d = dist(rng);
+    const auto plain = resize::build_reduced_demand_set(demand, 0.6, 0.0);
+    const auto disc = resize::build_reduced_demand_set(demand, 0.6, epsilon);
+    EXPECT_LE(disc.candidates.size(), plain.candidates.size());
+    // Discretized top candidate covers at least the true peak (safety).
+    EXPECT_GE(disc.candidates.front().capacity - 1e-9,
+              plain.candidates.front().capacity -
+                  epsilon / 0.6);  // within one rounding step below...
+    EXPECT_GE(disc.candidates.front().demand_level + 1e-9,
+              *std::max_element(demand.begin(), demand.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, EpsilonPropertyTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
+
+// --------------------------------------------------- greedy MCKP vs seeds
+
+class GreedySeedPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedySeedPropertyTest, SolutionDominatesAllMinimalAndAllMaximal) {
+    // The greedy's ticket count is never worse than choosing every VM's
+    // minimal candidate; its capacity use never exceeds all-maximal.
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 31);
+    std::uniform_real_distribution<double> dist(0.0, 30.0);
+    resize::MckpInstance instance;
+    double max_sum = 0.0;
+    int min_choice_tickets = 0;
+    for (int i = 0; i < 5; ++i) {
+        std::vector<double> demand(16);
+        for (double& d : demand) d = dist(rng);
+        instance.groups.push_back(
+            resize::build_reduced_demand_set(demand, 0.6, 0.0));
+        max_sum += instance.groups.back().candidates.front().capacity;
+        min_choice_tickets += instance.groups.back().candidates.back().tickets;
+    }
+    instance.total_capacity = max_sum * 0.6;
+    const auto sol = resize::solve_mckp_greedy(instance);
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_LE(sol.total_tickets, min_choice_tickets);
+    EXPECT_LE(sol.used_capacity, instance.total_capacity + 1e-9);
+}
+
+TEST_P(GreedySeedPropertyTest, ExactSolutionIsOptimalOverBruteForce) {
+    // Small instances: enumerate every choice combination and verify the
+    // DP truly finds the optimum on its capacity grid.
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 73);
+    std::uniform_real_distribution<double> dist(0.0, 10.0);
+    resize::MckpInstance instance;
+    for (int i = 0; i < 3; ++i) {
+        std::vector<double> demand(5);
+        for (double& d : demand) d = dist(rng);
+        instance.groups.push_back(
+            resize::build_reduced_demand_set(demand, 1.0, 0.0));
+    }
+    instance.total_capacity = 12.0;
+
+    const auto exact = resize::solve_mckp_exact(instance, 1 << 14);
+
+    int best = std::numeric_limits<int>::max();
+    const auto& g = instance.groups;
+    for (std::size_t a = 0; a < g[0].candidates.size(); ++a) {
+        for (std::size_t b = 0; b < g[1].candidates.size(); ++b) {
+            for (std::size_t c = 0; c < g[2].candidates.size(); ++c) {
+                const double cap = g[0].candidates[a].capacity +
+                                   g[1].candidates[b].capacity +
+                                   g[2].candidates[c].capacity;
+                if (cap > instance.total_capacity + 1e-9) continue;
+                best = std::min(best, g[0].candidates[a].tickets +
+                                          g[1].candidates[b].tickets +
+                                          g[2].candidates[c].tickets);
+            }
+        }
+    }
+    EXPECT_EQ(exact.total_tickets, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedySeedPropertyTest, ::testing::Range(1, 11));
+
+// ----------------------------------------------- pipeline threshold sweep
+
+class ThresholdPipelineTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdPipelineTest, ResizeNeverWorseThanBaselineCounts) {
+    const double alpha = GetParam();
+    trace::TraceGenOptions options;
+    options.num_boxes = 1;
+    options.num_days = 2;
+    options.gappy_box_fraction = 0.0;
+    options.seed = 31;
+    const trace::BoxTrace box = trace::generate_box(options, 0);
+    const auto results = core::evaluate_resize_policies_on_actuals(
+        box, 96, 1, alpha, 5.0, {resize::ResizePolicy::kAtmGreedy});
+    // ATM with perfect knowledge and the no-op candidate can always keep
+    // the status quo, so it never increases tickets at any threshold.
+    EXPECT_LE(results[0].cpu_after, results[0].cpu_before);
+    EXPECT_LE(results[0].ram_after, results[0].ram_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdPipelineTest,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9));
+
+// ------------------------------------------------------ generator sweeps
+
+class GeneratorSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorSeedTest, StructuralInvariantsHoldForAnySeed) {
+    trace::TraceGenOptions options;
+    options.num_boxes = 10;
+    options.num_days = 1;
+    options.seed = static_cast<std::uint64_t>(GetParam()) * 9973;
+    const trace::Trace trace = trace::generate_trace(options);
+    for (const trace::BoxTrace& box : trace.boxes) {
+        EXPECT_GE(box.vms.size(), 2u);
+        for (const trace::VmTrace& vm : box.vms) {
+            EXPECT_GT(vm.cpu_capacity_ghz, 0.0);
+            EXPECT_GT(vm.ram_capacity_gb, 0.0);
+            ASSERT_EQ(vm.cpu_usage_pct.size(), 96u);
+            ASSERT_EQ(vm.cpu_demand_ghz.size(), 96u);
+            for (std::size_t t = 0; t < 96; ++t) {
+                EXPECT_GE(vm.cpu_usage_pct[t], 0.0);
+                EXPECT_LE(vm.cpu_usage_pct[t], 100.0);
+                EXPECT_GE(vm.cpu_demand_ghz[t], 0.0);
+                // Demand >= what the capped usage implies.
+                if (!box.has_gaps) {
+                    EXPECT_GE(vm.cpu_demand_ghz[t] + 1e-9,
+                              vm.cpu_usage_pct[t] / 100.0 * vm.cpu_capacity_ghz);
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace atm

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "resize/mckp.hpp"
+#include "resize/policies.hpp"
+#include "resize/reduced_demand.hpp"
+
+namespace atm::resize {
+namespace {
+
+// The paper's running example (Section IV-A1):
+// D_i = {30,30,40,40,23,25,60,60,60,60} -> D'_i = {60,40,30,25,23,0} with
+// P_i = {0,4,6,8,9,10}.
+const std::vector<double> kPaperDemands{30, 30, 40, 40, 23, 25, 60, 60, 60, 60};
+
+TEST(ReducedDemandTest, PaperExampleLevelsAndTickets) {
+    const auto set = build_reduced_demand_set(kPaperDemands, /*alpha=*/1.0,
+                                              /*epsilon=*/0.0);
+    ASSERT_EQ(set.candidates.size(), 6u);
+    const std::vector<double> levels{60, 40, 30, 25, 23, 0};
+    const std::vector<int> tickets{0, 4, 6, 8, 9, 10};
+    for (std::size_t v = 0; v < 6; ++v) {
+        EXPECT_DOUBLE_EQ(set.candidates[v].demand_level, levels[v]);
+        EXPECT_EQ(set.candidates[v].tickets, tickets[v]);
+    }
+}
+
+TEST(ReducedDemandTest, PaperExampleWithDiscretization) {
+    // eps = 10: 23, 25 round up to 30 -> D' = {60,40,30,0}, P = {0,4,6,10}.
+    const auto set = build_reduced_demand_set(kPaperDemands, 1.0, 10.0);
+    ASSERT_EQ(set.candidates.size(), 4u);
+    const std::vector<double> levels{60, 40, 30, 0};
+    const std::vector<int> tickets{0, 4, 6, 10};
+    for (std::size_t v = 0; v < 4; ++v) {
+        EXPECT_DOUBLE_EQ(set.candidates[v].demand_level, levels[v]);
+        EXPECT_EQ(set.candidates[v].tickets, tickets[v]);
+    }
+}
+
+TEST(ReducedDemandTest, AlphaScalesCapacity) {
+    const auto set = build_reduced_demand_set(kPaperDemands, 0.6, 0.0);
+    // Top candidate covers demand 60 -> capacity 100.
+    EXPECT_DOUBLE_EQ(set.candidates.front().demand_level, 60.0);
+    EXPECT_DOUBLE_EQ(set.candidates.front().capacity, 100.0);
+    EXPECT_EQ(set.candidates.front().tickets, 0);
+}
+
+TEST(ReducedDemandTest, TicketsNonDecreasingCapacityDecreasing) {
+    const auto set = build_reduced_demand_set(kPaperDemands, 0.6, 5.0);
+    for (std::size_t v = 1; v < set.candidates.size(); ++v) {
+        EXPECT_LT(set.candidates[v].capacity, set.candidates[v - 1].capacity);
+        EXPECT_GE(set.candidates[v].tickets, set.candidates[v - 1].tickets);
+    }
+}
+
+TEST(ReducedDemandTest, ZeroCandidateTicketsAllWindows) {
+    const auto set = build_reduced_demand_set(kPaperDemands, 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(set.candidates.back().capacity, 0.0);
+    EXPECT_EQ(set.candidates.back().tickets, 10);
+}
+
+TEST(ReducedDemandTest, LowerBoundInsertsCandidate) {
+    // Lower bound 35 (capacity units, alpha=1): candidates below 35 are
+    // dropped; a candidate at exactly 35 appears with its real ticket count.
+    const auto set = build_reduced_demand_set(kPaperDemands, 1.0, 0.0, 35.0);
+    EXPECT_DOUBLE_EQ(set.candidates.back().capacity, 35.0);
+    // demands > 35: 40,40,60x4 = 6 tickets.
+    EXPECT_EQ(set.candidates.back().tickets, 6);
+    for (const auto& c : set.candidates) EXPECT_GE(c.capacity, 35.0);
+}
+
+TEST(ReducedDemandTest, UpperBoundCapsCandidates) {
+    const auto set = build_reduced_demand_set(kPaperDemands, 1.0, 0.0, 0.0, 45.0);
+    for (const auto& c : set.candidates) EXPECT_LE(c.capacity, 45.0);
+    // Best remaining candidate is 40 -> 4 tickets.
+    EXPECT_DOUBLE_EQ(set.candidates.front().capacity, 40.0);
+    EXPECT_EQ(set.candidates.front().tickets, 4);
+}
+
+TEST(ReducedDemandTest, UpperBoundBelowAllLevels) {
+    const auto set = build_reduced_demand_set(kPaperDemands, 1.0, 0.0, 0.0, 10.0);
+    ASSERT_FALSE(set.candidates.empty());
+    // Every level above 10 dropped; 0 remains plus nothing else -> the 0
+    // candidate (capacity 0) survives the cap.
+    EXPECT_LE(set.candidates.front().capacity, 10.0);
+}
+
+TEST(ReducedDemandTest, EmptySeriesSingleZeroCandidate) {
+    const auto set = build_reduced_demand_set({}, 0.6, 5.0);
+    ASSERT_EQ(set.candidates.size(), 1u);
+    EXPECT_DOUBLE_EQ(set.candidates[0].capacity, 0.0);
+    EXPECT_EQ(set.candidates[0].tickets, 0);
+}
+
+TEST(ReducedDemandTest, InvalidAlphaThrows) {
+    EXPECT_THROW(build_reduced_demand_set(kPaperDemands, 0.0, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(build_reduced_demand_set(kPaperDemands, 1.5, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(ReducedDemandTest, EpsilonRoundsUpNotDown) {
+    const std::vector<double> demands{21.0};
+    const auto set = build_reduced_demand_set(demands, 1.0, 5.0);
+    EXPECT_DOUBLE_EQ(set.candidates.front().demand_level, 25.0);
+}
+
+TEST(ReducedDemandTest, ExactMultipleNotRoundedFurther) {
+    const std::vector<double> demands{25.0};
+    const auto set = build_reduced_demand_set(demands, 1.0, 5.0);
+    EXPECT_DOUBLE_EQ(set.candidates.front().demand_level, 25.0);
+}
+
+MckpInstance two_vm_instance(double budget) {
+    // VM A: hot (demands 60 most of the day); VM B: cold.
+    const std::vector<double> hot{60, 60, 60, 60, 30, 30};
+    const std::vector<double> cold{10, 10, 12, 12, 10, 10};
+    MckpInstance instance;
+    instance.groups.push_back(build_reduced_demand_set(hot, 1.0, 0.0));
+    instance.groups.push_back(build_reduced_demand_set(cold, 1.0, 0.0));
+    instance.total_capacity = budget;
+    return instance;
+}
+
+TEST(GreedyMckpTest, AmpleBudgetZeroTickets) {
+    const auto sol = solve_mckp_greedy(two_vm_instance(100.0));
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_EQ(sol.total_tickets, 0);
+    EXPECT_DOUBLE_EQ(sol.capacities[0], 60.0);
+    EXPECT_DOUBLE_EQ(sol.capacities[1], 12.0);
+}
+
+TEST(GreedyMckpTest, TightBudgetSheddsCheapestTickets) {
+    // Budget 70: both max candidates need 72. Downgrading B 12->10 frees 2
+    // for 2 tickets (MTRV 1.0); downgrading A 60->30 frees 30 for 4 tickets
+    // (MTRV 0.133). Greedy picks A... but then capacity = 30+12=42 <= 70.
+    const auto sol = solve_mckp_greedy(two_vm_instance(70.0));
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_DOUBLE_EQ(sol.capacities[0], 30.0);
+    EXPECT_DOUBLE_EQ(sol.capacities[1], 12.0);
+    EXPECT_EQ(sol.total_tickets, 4);
+}
+
+TEST(GreedyMckpTest, ZeroBudgetAllZero) {
+    const auto sol = solve_mckp_greedy(two_vm_instance(0.0));
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_DOUBLE_EQ(sol.capacities[0], 0.0);
+    EXPECT_DOUBLE_EQ(sol.capacities[1], 0.0);
+    EXPECT_EQ(sol.total_tickets, 12);
+}
+
+TEST(GreedyMckpTest, UsedCapacityWithinBudget) {
+    for (double budget : {0.0, 10.0, 35.0, 50.0, 71.0, 72.0, 200.0}) {
+        const auto sol = solve_mckp_greedy(two_vm_instance(budget));
+        EXPECT_LE(sol.used_capacity, budget + 1e-9) << "budget " << budget;
+    }
+}
+
+TEST(GreedyMckpTest, EmptyGroupThrows) {
+    MckpInstance instance;
+    instance.groups.push_back(ReducedDemandSet{});
+    instance.total_capacity = 10.0;
+    EXPECT_THROW(solve_mckp_greedy(instance), std::invalid_argument);
+}
+
+TEST(ExactMckpTest, MatchesGreedyOnEasyInstance) {
+    const auto greedy = solve_mckp_greedy(two_vm_instance(100.0));
+    const auto exact = solve_mckp_exact(two_vm_instance(100.0));
+    EXPECT_EQ(exact.total_tickets, greedy.total_tickets);
+}
+
+TEST(ExactMckpTest, BeatsGreedyWhenGreedyIsMyopic) {
+    // Construct an instance where one-step MTRV is misleading: VM A has a
+    // long cheap tail after an expensive first step.
+    MckpInstance instance;
+    ReducedDemandSet a;
+    a.candidates = {{100, 100, 0}, {99, 99, 5}, {40, 40, 6}};
+    ReducedDemandSet b;
+    b.candidates = {{60, 60, 0}, {30, 30, 2}};
+    instance.groups = {a, b};
+    instance.total_capacity = 100.0;
+    const auto greedy = solve_mckp_greedy(instance);
+    const auto exact = solve_mckp_exact(instance);
+    EXPECT_LE(exact.total_tickets, greedy.total_tickets);
+    EXPECT_LE(exact.used_capacity, 100.0 + 1e-9);
+}
+
+// Property sweep: on random small instances the greedy solution is feasible
+// and within a modest factor of the exact optimum; the exact solution is
+// never worse than greedy.
+class MckpPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MckpPropertyTest, GreedyFeasibleExactNoWorse) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()));
+    std::uniform_real_distribution<double> demand_dist(0.0, 50.0);
+    std::uniform_int_distribution<int> vm_count(2, 5);
+    std::uniform_int_distribution<int> len(4, 12);
+
+    MckpInstance instance;
+    const int m = vm_count(rng);
+    double total_max = 0.0;
+    for (int i = 0; i < m; ++i) {
+        std::vector<double> demands(static_cast<std::size_t>(len(rng)));
+        for (double& d : demands) d = demand_dist(rng);
+        instance.groups.push_back(build_reduced_demand_set(demands, 0.6, 0.0));
+        total_max += instance.groups.back().candidates.front().capacity;
+    }
+    instance.total_capacity = total_max * 0.55;  // force contention
+
+    const auto greedy = solve_mckp_greedy(instance);
+    const auto exact = solve_mckp_exact(instance, 8192);
+    EXPECT_TRUE(greedy.feasible);
+    EXPECT_LE(greedy.used_capacity, instance.total_capacity + 1e-9);
+    EXPECT_LE(exact.used_capacity, instance.total_capacity + 1e-9);
+    EXPECT_LE(exact.total_tickets, greedy.total_tickets);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MckpPropertyTest,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------- policies
+
+ResizeInput simple_input() {
+    ResizeInput input;
+    input.demands = {
+        {6.0, 6.0, 6.0, 2.0},  // hot VM
+        {1.0, 1.0, 1.0, 1.0},  // cold VM
+    };
+    input.total_capacity = 12.0;
+    input.alpha = 0.6;
+    return input;
+}
+
+TEST(AtmResizeTest, EliminatesTicketsGivenSlack) {
+    const auto result = atm_resize(simple_input());
+    EXPECT_TRUE(result.feasible);
+    EXPECT_EQ(result.tickets, 0);
+    // Hot VM needs 6/0.6 = 10; cold needs 1/0.6 = 1.67; total 11.67 <= 12.
+    EXPECT_NEAR(result.capacities[0], 10.0, 1e-9);
+}
+
+TEST(AtmResizeTest, DiscretizationAddsSafetyMargin) {
+    ResizeInput input = simple_input();
+    input.epsilon = 1.0;  // demands round up to integers (already integral)
+    const auto with_eps = atm_resize(input);
+    EXPECT_EQ(with_eps.tickets, 0);
+    input.epsilon = 4.0;  // 6 -> 8, 1 -> 4: more aggressive allocation
+    const auto coarse = atm_resize(input);
+    // 8/0.6 = 13.33 > 12 alone: budget forces a downgrade somewhere, but
+    // capacities stay within budget.
+    double used = 0.0;
+    for (double c : coarse.capacities) used += c;
+    EXPECT_LE(used, 12.0 + 1e-9);
+}
+
+TEST(AtmResizeTest, RespectsLowerBounds) {
+    ResizeInput input = simple_input();
+    input.lower_bounds = {6.0, 1.0};  // peak demands must stay covered
+    const auto result = atm_resize(input);
+    EXPECT_GE(result.capacities[0], 6.0 - 1e-9);
+    EXPECT_GE(result.capacities[1], 1.0 - 1e-9);
+}
+
+TEST(AtmResizeTest, InfeasibleLowerBoundsAreDropped) {
+    ResizeInput input = simple_input();
+    input.lower_bounds = {10.0, 5.0};  // sum 15 > budget 12
+    const auto result = atm_resize(input);  // falls back to no bounds
+    double used = 0.0;
+    for (double c : result.capacities) used += c;
+    EXPECT_LE(used, 12.0 + 1e-9);
+}
+
+TEST(AtmResizeTest, PerVmEpsilonOverrides) {
+    ResizeInput input = simple_input();
+    input.epsilon = 100.0;            // absurd scalar...
+    input.epsilons = {0.5, 0.5};      // ...overridden per-VM
+    const auto result = atm_resize(input);
+    EXPECT_EQ(result.tickets, 0);
+}
+
+TEST(AtmExactTest, NoWorseThanGreedy) {
+    ResizeInput input = simple_input();
+    input.total_capacity = 9.0;  // not enough for zero tickets
+    const auto greedy = atm_resize(input);
+    const auto exact = atm_resize_exact(input);
+    EXPECT_LE(exact.tickets, greedy.tickets);
+}
+
+TEST(MaxMinTest, AmpleCapacitySatisfiesAll) {
+    const auto result = max_min_fairness_resize(simple_input());
+    EXPECT_EQ(result.tickets, 0);
+    EXPECT_NEAR(result.capacities[0], 10.0, 1e-9);
+    EXPECT_NEAR(result.capacities[1], 1.0 / 0.6, 1e-9);
+}
+
+TEST(MaxMinTest, ScarcityPunishesLargeVm) {
+    ResizeInput input = simple_input();
+    input.total_capacity = 6.0;
+    const auto result = max_min_fairness_resize(input);
+    // Small VM's request (1.67) is below the fair share -> fully granted;
+    // the big VM gets the remainder and keeps ticketing.
+    EXPECT_NEAR(result.capacities[1], 1.0 / 0.6, 1e-9);
+    EXPECT_NEAR(result.capacities[0], 6.0 - 1.0 / 0.6, 1e-9);
+    EXPECT_GT(result.tickets, 0);
+}
+
+TEST(MaxMinTest, WaterFillingSplitsEqually) {
+    ResizeInput input;
+    input.demands = {{6.0}, {6.0}, {6.0}};
+    input.total_capacity = 9.0;
+    input.alpha = 1.0;
+    const auto result = max_min_fairness_resize(input);
+    for (double c : result.capacities) EXPECT_NEAR(c, 3.0, 1e-9);
+}
+
+TEST(StingyTest, AllocatesPeakIgnoringThreshold) {
+    const auto result = stingy_resize(simple_input());
+    EXPECT_NEAR(result.capacities[0], 6.0, 1e-12);
+    EXPECT_NEAR(result.capacities[1], 1.0, 1e-12);
+    // Peak windows run at exactly 100% of allocation > 60% -> tickets.
+    EXPECT_GT(result.tickets, 0);
+}
+
+TEST(PolicyDispatchTest, AllPoliciesRun) {
+    for (ResizePolicy p :
+         {ResizePolicy::kAtmGreedy, ResizePolicy::kAtmGreedyNoDiscretization,
+          ResizePolicy::kMaxMinFairness, ResizePolicy::kStingy}) {
+        const auto result = apply_policy(p, simple_input());
+        EXPECT_EQ(result.capacities.size(), 2u) << to_string(p);
+        double used = 0.0;
+        for (double c : result.capacities) used += c;
+        EXPECT_LE(used, 12.0 + 1e-9) << to_string(p);
+    }
+}
+
+TEST(PolicyDispatchTest, AtmBeatsBaselinesUnderContention) {
+    // Representative contention: one hot, three mild VMs; budget below the
+    // zero-ticket point.
+    ResizeInput input;
+    input.demands = {
+        {8, 8, 8, 8, 3, 3}, {2, 2, 2, 2, 2, 2}, {1, 2, 1, 2, 1, 2},
+        {3, 1, 3, 1, 3, 1}};
+    input.total_capacity = 18.0;
+    input.alpha = 0.6;
+    const int atm = apply_policy(ResizePolicy::kAtmGreedy, input).tickets;
+    const int maxmin = apply_policy(ResizePolicy::kMaxMinFairness, input).tickets;
+    const int stingy = apply_policy(ResizePolicy::kStingy, input).tickets;
+    EXPECT_LE(atm, maxmin);
+    EXPECT_LE(atm, stingy);
+}
+
+TEST(PolicyValidationTest, BadInputsThrow) {
+    ResizeInput input = simple_input();
+    input.alpha = 0.0;
+    EXPECT_THROW(atm_resize(input), std::invalid_argument);
+    input = simple_input();
+    input.demands.clear();
+    EXPECT_THROW(atm_resize(input), std::invalid_argument);
+    input = simple_input();
+    input.lower_bounds = {1.0};
+    EXPECT_THROW(atm_resize(input), std::invalid_argument);
+    input = simple_input();
+    input.epsilons = {1.0};
+    EXPECT_THROW(atm_resize(input), std::invalid_argument);
+}
+
+TEST(TicketsForAllocationTest, CountsStrictViolations) {
+    const std::vector<std::vector<double>> demands{{5.9, 6.0, 6.1}};
+    EXPECT_EQ(tickets_for_allocation(demands, {10.0}, 0.6), 1);
+    EXPECT_THROW(tickets_for_allocation(demands, {1.0, 2.0}, 0.6),
+                 std::invalid_argument);
+}
+
+// Property: ATM resize never exceeds the budget and never tickets a window
+// whose demand was coverable within the per-VM upper bound, when there is
+// ample total capacity.
+class ResizePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResizePropertyTest, AmpleCapacityMeansZeroTickets) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 7919);
+    std::uniform_real_distribution<double> demand_dist(0.0, 8.0);
+    std::uniform_int_distribution<int> vm_count(2, 8);
+    ResizeInput input;
+    const int m = vm_count(rng);
+    double peak_sum = 0.0;
+    for (int i = 0; i < m; ++i) {
+        std::vector<double> d(24);
+        for (double& v : d) v = demand_dist(rng);
+        peak_sum += *std::max_element(d.begin(), d.end());
+        input.demands.push_back(std::move(d));
+    }
+    input.alpha = 0.6;
+    input.total_capacity = peak_sum / input.alpha + 1.0;  // ample
+    const auto result = atm_resize(input);
+    EXPECT_EQ(result.tickets, 0);
+    double used = 0.0;
+    for (double c : result.capacities) used += c;
+    EXPECT_LE(used, input.total_capacity + 1e-9);
+}
+
+TEST_P(ResizePropertyTest, TicketsMonotoneInBudget) {
+    std::mt19937 rng(static_cast<unsigned>(GetParam()) * 104729);
+    std::uniform_real_distribution<double> demand_dist(0.0, 10.0);
+    ResizeInput input;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<double> d(16);
+        for (double& v : d) v = demand_dist(rng);
+        input.demands.push_back(std::move(d));
+    }
+    input.alpha = 0.6;
+    int prev = std::numeric_limits<int>::max();
+    for (double budget : {10.0, 20.0, 40.0, 80.0}) {
+        input.total_capacity = budget;
+        const int tickets = atm_resize(input).tickets;
+        EXPECT_LE(tickets, prev) << "budget " << budget;
+        prev = tickets;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResizePropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace atm::resize

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "linalg/ridge.hpp"
+
+namespace atm::la {
+namespace {
+
+TEST(RidgeTest, ZeroLambdaMatchesOls) {
+    std::mt19937 rng(1);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    std::vector<std::vector<double>> preds(2, std::vector<double>(80));
+    std::vector<double> y(80);
+    for (std::size_t i = 0; i < 80; ++i) {
+        preds[0][i] = noise(rng);
+        preds[1][i] = noise(rng);
+        y[i] = 2.0 + 1.5 * preds[0][i] - 0.5 * preds[1][i] + 0.1 * noise(rng);
+    }
+    const OlsFit ols = ols_fit(y, preds);
+    const OlsFit ridge = ridge_fit(y, preds, 0.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_NEAR(ridge.coefficients[j], ols.coefficients[j], 1e-8);
+    }
+}
+
+TEST(RidgeTest, ShrinksCoefficients) {
+    std::mt19937 rng(2);
+    std::normal_distribution<double> noise(0.0, 1.0);
+    std::vector<std::vector<double>> preds(2, std::vector<double>(60));
+    std::vector<double> y(60);
+    for (std::size_t i = 0; i < 60; ++i) {
+        preds[0][i] = noise(rng);
+        preds[1][i] = noise(rng);
+        y[i] = 3.0 * preds[0][i] + 2.0 * preds[1][i] + noise(rng);
+    }
+    const OlsFit small = ridge_fit(y, preds, 1.0);
+    const OlsFit large = ridge_fit(y, preds, 1000.0);
+    EXPECT_LT(std::abs(large.coefficients[1]), std::abs(small.coefficients[1]));
+    EXPECT_LT(std::abs(large.coefficients[2]), std::abs(small.coefficients[2]));
+}
+
+TEST(RidgeTest, HandlesExactCollinearity) {
+    // Two identical predictors: OLS by QR zeroes one; ridge splits the
+    // weight between them and stays finite.
+    std::vector<double> a{1, 2, 3, 4, 5, 6};
+    std::vector<double> y{2, 4, 6, 8, 10, 12};
+    const OlsFit fit = ridge_fit(y, {a, a}, 0.5);
+    EXPECT_TRUE(std::isfinite(fit.coefficients[1]));
+    EXPECT_TRUE(std::isfinite(fit.coefficients[2]));
+    EXPECT_NEAR(fit.coefficients[1], fit.coefficients[2], 1e-9);
+    EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(RidgeTest, InterceptNotPenalized) {
+    // Response far from zero: huge lambda must not pull predictions to 0.
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> y{101, 102, 103, 104};
+    const OlsFit fit = ridge_fit(y, {x}, 1e9);
+    EXPECT_NEAR(fit.coefficients[0], 102.5, 0.5);  // ~mean of y
+}
+
+TEST(RidgeTest, ValidationErrors) {
+    const std::vector<double> y{1, 2, 3};
+    EXPECT_THROW(ridge_fit(y, {{1, 2}}, 1.0), std::invalid_argument);
+    EXPECT_THROW(ridge_fit(y, {}, -1.0), std::invalid_argument);
+}
+
+TEST(RidgeSelectTest, PrefersSmallLambdaOnCleanData) {
+    std::mt19937 rng(3);
+    std::normal_distribution<double> noise(0.0, 0.01);
+    std::vector<std::vector<double>> preds(1, std::vector<double>(100));
+    std::vector<double> y(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        preds[0][i] = static_cast<double>(i) / 100.0;
+        y[i] = 5.0 * preds[0][i] + noise(rng);
+    }
+    const std::vector<double> candidates{0.0, 1.0, 100.0, 10000.0};
+    EXPECT_LE(select_ridge_lambda(y, preds, candidates), 1.0);
+}
+
+TEST(RidgeSelectTest, TooShortThrows) {
+    const std::vector<double> y{1, 2};
+    const std::vector<std::vector<double>> preds{{1, 2}};
+    const std::vector<double> candidates{1.0};
+    EXPECT_THROW(select_ridge_lambda(y, preds, candidates),
+                 std::invalid_argument);
+}
+
+TEST(InverseTest, RoundTripsWithMultiply) {
+    const Matrix a{{4, 7}, {2, 6}};
+    const Matrix inv = inverse(a);
+    EXPECT_LT((a * inv).max_abs_diff(Matrix::identity(2)), 1e-10);
+    EXPECT_LT((inv * a).max_abs_diff(Matrix::identity(2)), 1e-10);
+}
+
+TEST(InverseTest, SingularThrows) {
+    const Matrix a{{1, 2}, {2, 4}};
+    EXPECT_THROW(inverse(a), std::runtime_error);
+    const Matrix rect{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_THROW(inverse(rect), std::invalid_argument);
+}
+
+TEST(DeterminantTest, KnownValues) {
+    EXPECT_DOUBLE_EQ(determinant(Matrix::identity(3)), 1.0);
+    const Matrix a{{1, 2}, {3, 4}};
+    EXPECT_NEAR(determinant(a), -2.0, 1e-12);
+    const Matrix singular{{1, 2}, {2, 4}};
+    EXPECT_DOUBLE_EQ(determinant(singular), 0.0);
+}
+
+TEST(DeterminantTest, RowSwapFlipsSign) {
+    const Matrix a{{0, 1}, {1, 0}};  // permutation: det = -1
+    EXPECT_NEAR(determinant(a), -1.0, 1e-12);
+}
+
+TEST(DeterminantTest, MatchesInverseConsistency) {
+    const Matrix a{{2, 1, 0}, {1, 3, 1}, {0, 1, 2}};
+    const double det_a = determinant(a);
+    const double det_inv = determinant(inverse(a));
+    EXPECT_NEAR(det_a * det_inv, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace atm::la

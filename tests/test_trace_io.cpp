@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tracegen/generator.hpp"
+#include "tracegen/trace_io.hpp"
+
+namespace atm::trace {
+namespace {
+
+Trace small_trace() {
+    TraceGenOptions options;
+    options.num_boxes = 4;
+    options.num_days = 1;
+    options.seed = 5;
+    return generate_trace(options);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+    const Trace original = small_trace();
+    std::stringstream buffer;
+    write_trace_csv(buffer, original);
+    const Trace loaded = read_trace_csv(buffer, original.windows_per_day);
+
+    ASSERT_EQ(loaded.boxes.size(), original.boxes.size());
+    for (std::size_t b = 0; b < original.boxes.size(); ++b) {
+        const BoxTrace& ob = original.boxes[b];
+        const BoxTrace& lb = loaded.boxes[b];
+        EXPECT_EQ(lb.name, ob.name);
+        EXPECT_EQ(lb.has_gaps, ob.has_gaps);
+        EXPECT_NEAR(lb.cpu_capacity_ghz, ob.cpu_capacity_ghz, 1e-6);
+        ASSERT_EQ(lb.vms.size(), ob.vms.size());
+        for (std::size_t v = 0; v < ob.vms.size(); ++v) {
+            EXPECT_EQ(lb.vms[v].name, ob.vms[v].name);
+            ASSERT_EQ(lb.vms[v].cpu_usage_pct.size(), ob.vms[v].cpu_usage_pct.size());
+            for (std::size_t t = 0; t < ob.vms[v].cpu_usage_pct.size(); ++t) {
+                EXPECT_NEAR(lb.vms[v].cpu_usage_pct[t], ob.vms[v].cpu_usage_pct[t], 1e-4);
+                EXPECT_NEAR(lb.vms[v].ram_demand_gb[t], ob.vms[v].ram_demand_gb[t], 1e-4);
+            }
+        }
+    }
+}
+
+TEST(TraceIoTest, BlankDemandColumnsDeriveFromUsage) {
+    std::stringstream in(
+        "box,vm,window,cpu_capacity_ghz,ram_capacity_gb,cpu_usage_pct,ram_usage_pct,cpu_demand_ghz,ram_demand_gb\n"
+        "#box,b0,10,20,0\n"
+        "b0,vm0,0,4,8,50,25,,\n"
+        "b0,vm0,1,4,8,75,50,,\n");
+    const Trace t = read_trace_csv(in);
+    ASSERT_EQ(t.boxes.size(), 1u);
+    ASSERT_EQ(t.boxes[0].vms.size(), 1u);
+    const VmTrace& vm = t.boxes[0].vms[0];
+    EXPECT_DOUBLE_EQ(vm.cpu_demand_ghz[0], 2.0);   // 50% of 4 GHz
+    EXPECT_DOUBLE_EQ(vm.cpu_demand_ghz[1], 3.0);
+    EXPECT_DOUBLE_EQ(vm.ram_demand_gb[1], 4.0);    // 50% of 8 GB
+}
+
+TEST(TraceIoTest, MultipleVmsAndBoxes) {
+    std::stringstream in(
+        "#box,alpha,10,20,0\n"
+        "alpha,vm0,0,4,8,50,25,2,2\n"
+        "alpha,vm1,0,2,4,10,10,0.2,0.4\n"
+        "#box,beta,5,10,1\n"
+        "beta,vmX,0,1,2,99,99,1.5,2.5\n");
+    const Trace t = read_trace_csv(in);
+    ASSERT_EQ(t.boxes.size(), 2u);
+    EXPECT_EQ(t.boxes[0].vms.size(), 2u);
+    EXPECT_EQ(t.boxes[1].vms.size(), 1u);
+    EXPECT_TRUE(t.boxes[1].has_gaps);
+    EXPECT_DOUBLE_EQ(t.boxes[1].vms[0].cpu_demand_ghz[0], 1.5);
+}
+
+TEST(TraceIoTest, MalformedInputsThrowWithLineNumbers) {
+    // Row before any #box directive.
+    std::stringstream orphan("b0,vm0,0,4,8,50,25,2,2\n");
+    EXPECT_THROW(read_trace_csv(orphan), std::runtime_error);
+
+    // Wrong field count.
+    std::stringstream short_row("#box,b0,1,1,0\nb0,vm0,0,4,8\n");
+    EXPECT_THROW(read_trace_csv(short_row), std::runtime_error);
+
+    // Out-of-order windows.
+    std::stringstream bad_order(
+        "#box,b0,1,1,0\n"
+        "b0,vm0,0,4,8,50,25,2,2\n"
+        "b0,vm0,2,4,8,50,25,2,2\n");
+    EXPECT_THROW(read_trace_csv(bad_order), std::runtime_error);
+
+    // Unparseable number.
+    std::stringstream bad_number("#box,b0,1,1,0\nb0,vm0,0,four,8,50,25,2,2\n");
+    EXPECT_THROW(read_trace_csv(bad_number), std::runtime_error);
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+    EXPECT_THROW(read_trace_csv_file("/nonexistent/trace.csv"),
+                 std::runtime_error);
+    const Trace t = small_trace();
+    EXPECT_THROW(write_trace_csv_file("/nonexistent/dir/trace.csv", t),
+                 std::runtime_error);
+}
+
+TEST(TraceIoTest, EmptyInputIsEmptyTrace) {
+    std::stringstream empty;
+    const Trace t = read_trace_csv(empty);
+    EXPECT_TRUE(t.boxes.empty());
+}
+
+}  // namespace
+}  // namespace atm::trace

@@ -1,0 +1,266 @@
+// atm — command-line front end for the ATM library.
+//
+// Subcommands:
+//   atm generate <out.csv> [--boxes N] [--days D] [--seed S]
+//       synthesize a monitoring trace and write it as CSV
+//   atm characterize <trace.csv> [--threshold P]
+//       Section-II style report: ticket distribution, culprits, correlations
+//   atm predict <trace.csv> [--box NAME] [--method dtw|cbc] [--model M]
+//       signature search + next-day prediction accuracy per box
+//   atm resize <trace.csv> [--threshold P] [--epsilon E] [--policy P]
+//       next-day resizing from predicted demands; prints per-box tickets
+//   atm backtest <trace.csv> --box NAME --vm INDEX
+//       rolling-origin comparison of every temporal model on one series
+//
+// All subcommands accept CSVs in the schema of src/tracegen/trace_io.hpp,
+// so real monitoring exports can be analyzed the same way as synthetic
+// traces.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "forecast/backtest.hpp"
+#include "ticketing/characterization.hpp"
+#include "timeseries/stats.hpp"
+#include "tracegen/generator.hpp"
+#include "tracegen/trace_io.hpp"
+
+namespace {
+
+using namespace atm;
+
+/// Minimal flag parser: --key value pairs after the positional arguments.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+    std::map<std::string, std::string> flags;
+    for (int i = first; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0) {
+            throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
+        }
+        flags[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_generate(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: atm generate <out.csv> [--boxes N] [--days D] [--seed S]\n");
+        return 2;
+    }
+    const auto flags = parse_flags(argc, argv, 3);
+    trace::TraceGenOptions options;
+    options.num_boxes = std::stoi(flag_or(flags, "boxes", "50"));
+    options.num_days = std::stoi(flag_or(flags, "days", "7"));
+    options.seed = std::stoull(flag_or(flags, "seed", "20150403"));
+    const trace::Trace t = trace::generate_trace(options);
+    trace::write_trace_csv_file(argv[2], t);
+    std::printf("wrote %zu boxes / %zu VMs / %d days to %s\n", t.boxes.size(),
+                t.total_vms(), options.num_days, argv[2]);
+    return 0;
+}
+
+int cmd_characterize(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: atm characterize <trace.csv> [--threshold P]\n");
+        return 2;
+    }
+    const auto flags = parse_flags(argc, argv, 3);
+    const double threshold = std::stod(flag_or(flags, "threshold", "60"));
+    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+    std::printf("trace: %zu boxes, %zu VMs\n\n", t.boxes.size(), t.total_vms());
+
+    const auto c = ticketing::characterize_tickets(t, threshold);
+    std::printf("threshold %.0f%%:\n", threshold);
+    std::printf("  boxes with tickets: CPU %.1f%%  RAM %.1f%%\n",
+                100 * c.boxes_with_cpu_tickets, 100 * c.boxes_with_ram_tickets);
+    std::printf("  tickets/box:        CPU %.1f (+-%.1f)  RAM %.1f (+-%.1f)\n",
+                c.mean_cpu_tickets_per_box, c.std_cpu_tickets_per_box,
+                c.mean_ram_tickets_per_box, c.std_ram_tickets_per_box);
+    std::printf("  culprit VMs:        CPU %.2f  RAM %.2f\n", c.mean_cpu_culprits,
+                c.mean_ram_culprits);
+
+    const auto corr = ticketing::characterize_correlations(t);
+    std::printf("\ncorrelation (mean of per-box medians):\n");
+    std::printf("  intra-CPU %.3f  intra-RAM %.3f  inter-all %.3f  inter-pair %.3f\n",
+                ts::mean(corr.intra_cpu), ts::mean(corr.intra_ram),
+                ts::mean(corr.inter_all), ts::mean(corr.inter_pair));
+    return 0;
+}
+
+core::PipelineConfig config_from_flags(
+    const std::map<std::string, std::string>& flags) {
+    core::PipelineConfig config;
+    const std::string method = flag_or(flags, "method", "cbc");
+    config.search.method = method == "dtw" ? core::ClusteringMethod::kDtw
+                                           : core::ClusteringMethod::kCbc;
+    const std::string model = flag_or(flags, "model", "mlp");
+    if (model == "mlp") {
+        config.temporal = forecast::TemporalModel::kNeuralNetwork;
+    } else if (model == "ar") {
+        config.temporal = forecast::TemporalModel::kAutoregressive;
+    } else if (model == "holt-winters") {
+        config.temporal = forecast::TemporalModel::kHoltWinters;
+    } else if (model == "seasonal-naive") {
+        config.temporal = forecast::TemporalModel::kSeasonalNaive;
+    } else if (model == "ensemble") {
+        config.temporal = forecast::TemporalModel::kEnsemble;
+    } else {
+        throw std::runtime_error("unknown --model " + model);
+    }
+    config.alpha = std::stod(flag_or(flags, "threshold", "60")) / 100.0;
+    config.epsilon_pct = std::stod(flag_or(flags, "epsilon", "5"));
+    config.train_days = std::stoi(flag_or(flags, "train-days", "5"));
+    return config;
+}
+
+int cmd_predict(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: atm predict <trace.csv> [--box NAME] [--method dtw|cbc] "
+                     "[--model mlp|ar|holt-winters|seasonal-naive|ensemble]\n");
+        return 2;
+    }
+    const auto flags = parse_flags(argc, argv, 3);
+    const core::PipelineConfig config = config_from_flags(flags);
+    const std::string only_box = flag_or(flags, "box", "");
+    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+
+    std::printf("%-12s %10s %10s %12s %10s\n", "box", "series", "signatures",
+                "APE all(%)", "peak(%)");
+    std::vector<double> apes;
+    for (const trace::BoxTrace& box : t.boxes) {
+        if (!only_box.empty() && box.name != only_box) continue;
+        if (box.has_gaps) continue;
+        const auto result = core::run_pipeline_on_box(box, t.windows_per_day,
+                                                      config, {});
+        apes.push_back(100.0 * result.ape_all);
+        std::printf("%-12s %10zu %10zu %12.1f %10.1f\n", box.name.c_str(),
+                    box.vms.size() * 2, result.search.signatures.size(),
+                    100.0 * result.ape_all, 100.0 * result.ape_peak);
+    }
+    if (!apes.empty()) {
+        std::printf("\nmean APE over %zu gap-free boxes: %.1f%%\n", apes.size(),
+                    ts::mean(apes));
+    }
+    return 0;
+}
+
+int cmd_resize(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: atm resize <trace.csv> [--threshold P] [--epsilon E] "
+                     "[--policy atm|max-min|stingy] [--model M]\n");
+        return 2;
+    }
+    const auto flags = parse_flags(argc, argv, 3);
+    const core::PipelineConfig config = config_from_flags(flags);
+    const std::string policy_name = flag_or(flags, "policy", "atm");
+    resize::ResizePolicy policy = resize::ResizePolicy::kAtmGreedy;
+    if (policy_name == "max-min") {
+        policy = resize::ResizePolicy::kMaxMinFairness;
+    } else if (policy_name == "stingy") {
+        policy = resize::ResizePolicy::kStingy;
+    } else if (policy_name != "atm") {
+        throw std::runtime_error("unknown --policy " + policy_name);
+    }
+    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+
+    long before = 0;
+    long after = 0;
+    std::printf("%-12s %14s %14s\n", "box", "CPU tickets", "RAM tickets");
+    for (const trace::BoxTrace& box : t.boxes) {
+        if (box.has_gaps) continue;
+        const auto result =
+            core::run_pipeline_on_box(box, t.windows_per_day, config, {policy});
+        const auto& p = result.policies[0];
+        std::printf("%-12s %6d -> %-6d %6d -> %-6d\n", box.name.c_str(),
+                    p.cpu_before, p.cpu_after, p.ram_before, p.ram_after);
+        before += p.cpu_before + p.ram_before;
+        after += p.cpu_after + p.ram_after;
+    }
+    std::printf("\ntotal: %ld -> %ld tickets (%.1f%% reduction, policy %s)\n",
+                before, after,
+                before > 0 ? 100.0 * static_cast<double>(before - after) /
+                                 static_cast<double>(before)
+                           : 0.0,
+                policy_name.c_str());
+    return 0;
+}
+
+int cmd_backtest(int argc, char** argv) {
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: atm backtest <trace.csv> --box NAME --vm INDEX "
+                     "[--resource cpu|ram]\n");
+        return 2;
+    }
+    const auto flags = parse_flags(argc, argv, 3);
+    const std::string box_name = flag_or(flags, "box", "");
+    const int vm_index = std::stoi(flag_or(flags, "vm", "0"));
+    const bool ram = flag_or(flags, "resource", "cpu") == "ram";
+    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+
+    const trace::BoxTrace* box = nullptr;
+    for (const trace::BoxTrace& b : t.boxes) {
+        if (box_name.empty() || b.name == box_name) {
+            box = &b;
+            break;
+        }
+    }
+    if (box == nullptr || vm_index < 0 ||
+        static_cast<std::size_t>(vm_index) >= box->vms.size()) {
+        std::fprintf(stderr, "atm backtest: box/vm not found\n");
+        return 2;
+    }
+    const auto& series = ram ? box->vms[static_cast<std::size_t>(vm_index)].ram_demand_gb
+                             : box->vms[static_cast<std::size_t>(vm_index)].cpu_demand_ghz;
+    std::printf("backtesting %s (%zu samples)\n\n", series.name().c_str(),
+                series.size());
+
+    const auto results = forecast::compare_models(
+        series.values(), t.windows_per_day,
+        /*min_history=*/static_cast<std::size_t>(2 * t.windows_per_day),
+        /*horizon=*/t.windows_per_day,
+        /*step=*/static_cast<std::size_t>(t.windows_per_day));
+    std::printf("%-16s %8s %12s %12s %8s\n", "model", "folds", "MAPE(%)",
+                "peak(%)", "RMSE");
+    for (const auto& r : results) {
+        std::printf("%-16s %8zu %12.1f %12.1f %8.3f\n", r.model.c_str(),
+                    r.folds.size(), 100.0 * r.mean_mape,
+                    100.0 * r.mean_peak_mape, r.mean_rmse);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "atm — Active Ticket Managing (DSN'16 reproduction)\n"
+                     "subcommands: generate, characterize, predict, resize, backtest\n");
+        return 2;
+    }
+    try {
+        const std::string cmd = argv[1];
+        if (cmd == "generate") return cmd_generate(argc, argv);
+        if (cmd == "characterize") return cmd_characterize(argc, argv);
+        if (cmd == "predict") return cmd_predict(argc, argv);
+        if (cmd == "resize") return cmd_resize(argc, argv);
+        if (cmd == "backtest") return cmd_backtest(argc, argv);
+        std::fprintf(stderr, "atm: unknown subcommand '%s'\n", cmd.c_str());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "atm: %s\n", e.what());
+        return 1;
+    }
+}
