@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dtw_band.dir/bench_ablation_dtw_band.cpp.o"
+  "CMakeFiles/bench_ablation_dtw_band.dir/bench_ablation_dtw_band.cpp.o.d"
+  "bench_ablation_dtw_band"
+  "bench_ablation_dtw_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dtw_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sigratio.dir/bench_ablation_sigratio.cpp.o"
+  "CMakeFiles/bench_ablation_sigratio.dir/bench_ablation_sigratio.cpp.o.d"
+  "bench_ablation_sigratio"
+  "bench_ablation_sigratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sigratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_drf.dir/bench_ext_drf.cpp.o"
+  "CMakeFiles/bench_ext_drf.dir/bench_ext_drf.cpp.o.d"
+  "bench_ext_drf"
+  "bench_ext_drf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_drf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rolling_week.dir/bench_ext_rolling_week.cpp.o"
+  "CMakeFiles/bench_ext_rolling_week.dir/bench_ext_rolling_week.cpp.o.d"
+  "bench_ext_rolling_week"
+  "bench_ext_rolling_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rolling_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

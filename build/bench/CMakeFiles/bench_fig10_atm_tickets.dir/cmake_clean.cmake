@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_atm_tickets.dir/bench_fig10_atm_tickets.cpp.o"
+  "CMakeFiles/bench_fig10_atm_tickets.dir/bench_fig10_atm_tickets.cpp.o.d"
+  "bench_fig10_atm_tickets"
+  "bench_fig10_atm_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_atm_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_tickets.dir/bench_fig2_tickets.cpp.o"
+  "CMakeFiles/bench_fig2_tickets.dir/bench_fig2_tickets.cpp.o.d"
+  "bench_fig2_tickets"
+  "bench_fig2_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

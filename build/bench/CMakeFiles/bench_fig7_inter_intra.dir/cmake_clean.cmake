@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_inter_intra.dir/bench_fig7_inter_intra.cpp.o"
+  "CMakeFiles/bench_fig7_inter_intra.dir/bench_fig7_inter_intra.cpp.o.d"
+  "bench_fig7_inter_intra"
+  "bench_fig7_inter_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_inter_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

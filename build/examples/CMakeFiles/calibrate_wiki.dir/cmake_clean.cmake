@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_wiki.dir/calibrate_wiki.cpp.o"
+  "CMakeFiles/calibrate_wiki.dir/calibrate_wiki.cpp.o.d"
+  "calibrate_wiki"
+  "calibrate_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediawiki_resize.dir/mediawiki_resize.cpp.o"
+  "CMakeFiles/mediawiki_resize.dir/mediawiki_resize.cpp.o.d"
+  "mediawiki_resize"
+  "mediawiki_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediawiki_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

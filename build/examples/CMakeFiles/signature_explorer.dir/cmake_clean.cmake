@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signature_explorer.dir/signature_explorer.cpp.o"
+  "CMakeFiles/signature_explorer.dir/signature_explorer.cpp.o.d"
+  "signature_explorer"
+  "signature_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signature_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cbc.cpp" "src/cluster/CMakeFiles/atm_cluster.dir/cbc.cpp.o" "gcc" "src/cluster/CMakeFiles/atm_cluster.dir/cbc.cpp.o.d"
+  "/root/repo/src/cluster/dtw.cpp" "src/cluster/CMakeFiles/atm_cluster.dir/dtw.cpp.o" "gcc" "src/cluster/CMakeFiles/atm_cluster.dir/dtw.cpp.o.d"
+  "/root/repo/src/cluster/hierarchical.cpp" "src/cluster/CMakeFiles/atm_cluster.dir/hierarchical.cpp.o" "gcc" "src/cluster/CMakeFiles/atm_cluster.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/cluster/kmedoids.cpp" "src/cluster/CMakeFiles/atm_cluster.dir/kmedoids.cpp.o" "gcc" "src/cluster/CMakeFiles/atm_cluster.dir/kmedoids.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_cluster.dir/cbc.cpp.o"
+  "CMakeFiles/atm_cluster.dir/cbc.cpp.o.d"
+  "CMakeFiles/atm_cluster.dir/dtw.cpp.o"
+  "CMakeFiles/atm_cluster.dir/dtw.cpp.o.d"
+  "CMakeFiles/atm_cluster.dir/hierarchical.cpp.o"
+  "CMakeFiles/atm_cluster.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/atm_cluster.dir/kmedoids.cpp.o"
+  "CMakeFiles/atm_cluster.dir/kmedoids.cpp.o.d"
+  "libatm_cluster.a"
+  "libatm_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_core.dir/pipeline.cpp.o"
+  "CMakeFiles/atm_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/atm_core.dir/rolling.cpp.o"
+  "CMakeFiles/atm_core.dir/rolling.cpp.o.d"
+  "CMakeFiles/atm_core.dir/signature_search.cpp.o"
+  "CMakeFiles/atm_core.dir/signature_search.cpp.o.d"
+  "CMakeFiles/atm_core.dir/spatial_model.cpp.o"
+  "CMakeFiles/atm_core.dir/spatial_model.cpp.o.d"
+  "libatm_core.a"
+  "libatm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/ar.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/ar.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/ar.cpp.o.d"
+  "/root/repo/src/forecast/backtest.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/backtest.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/backtest.cpp.o.d"
+  "/root/repo/src/forecast/forecaster.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/forecaster.cpp.o.d"
+  "/root/repo/src/forecast/holt_winters.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/holt_winters.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/holt_winters.cpp.o.d"
+  "/root/repo/src/forecast/mlp_forecaster.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/mlp_forecaster.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/mlp_forecaster.cpp.o.d"
+  "/root/repo/src/forecast/nn.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/nn.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/nn.cpp.o.d"
+  "/root/repo/src/forecast/seasonal_naive.cpp" "src/forecast/CMakeFiles/atm_forecast.dir/seasonal_naive.cpp.o" "gcc" "src/forecast/CMakeFiles/atm_forecast.dir/seasonal_naive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/atm_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_forecast.dir/ar.cpp.o"
+  "CMakeFiles/atm_forecast.dir/ar.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/backtest.cpp.o"
+  "CMakeFiles/atm_forecast.dir/backtest.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/forecaster.cpp.o"
+  "CMakeFiles/atm_forecast.dir/forecaster.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/holt_winters.cpp.o"
+  "CMakeFiles/atm_forecast.dir/holt_winters.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/mlp_forecaster.cpp.o"
+  "CMakeFiles/atm_forecast.dir/mlp_forecaster.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/nn.cpp.o"
+  "CMakeFiles/atm_forecast.dir/nn.cpp.o.d"
+  "CMakeFiles/atm_forecast.dir/seasonal_naive.cpp.o"
+  "CMakeFiles/atm_forecast.dir/seasonal_naive.cpp.o.d"
+  "libatm_forecast.a"
+  "libatm_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/atm_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/atm_linalg.dir/ols.cpp.o"
+  "CMakeFiles/atm_linalg.dir/ols.cpp.o.d"
+  "CMakeFiles/atm_linalg.dir/ridge.cpp.o"
+  "CMakeFiles/atm_linalg.dir/ridge.cpp.o.d"
+  "libatm_linalg.a"
+  "libatm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

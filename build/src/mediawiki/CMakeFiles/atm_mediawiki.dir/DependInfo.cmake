@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mediawiki/simulator.cpp" "src/mediawiki/CMakeFiles/atm_mediawiki.dir/simulator.cpp.o" "gcc" "src/mediawiki/CMakeFiles/atm_mediawiki.dir/simulator.cpp.o.d"
+  "/root/repo/src/mediawiki/testbed.cpp" "src/mediawiki/CMakeFiles/atm_mediawiki.dir/testbed.cpp.o" "gcc" "src/mediawiki/CMakeFiles/atm_mediawiki.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/resize/CMakeFiles/atm_resize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

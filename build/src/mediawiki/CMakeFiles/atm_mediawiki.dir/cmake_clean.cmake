@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_mediawiki.dir/simulator.cpp.o"
+  "CMakeFiles/atm_mediawiki.dir/simulator.cpp.o.d"
+  "CMakeFiles/atm_mediawiki.dir/testbed.cpp.o"
+  "CMakeFiles/atm_mediawiki.dir/testbed.cpp.o.d"
+  "libatm_mediawiki.a"
+  "libatm_mediawiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_mediawiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resize/drf.cpp" "src/resize/CMakeFiles/atm_resize.dir/drf.cpp.o" "gcc" "src/resize/CMakeFiles/atm_resize.dir/drf.cpp.o.d"
+  "/root/repo/src/resize/mckp.cpp" "src/resize/CMakeFiles/atm_resize.dir/mckp.cpp.o" "gcc" "src/resize/CMakeFiles/atm_resize.dir/mckp.cpp.o.d"
+  "/root/repo/src/resize/policies.cpp" "src/resize/CMakeFiles/atm_resize.dir/policies.cpp.o" "gcc" "src/resize/CMakeFiles/atm_resize.dir/policies.cpp.o.d"
+  "/root/repo/src/resize/reduced_demand.cpp" "src/resize/CMakeFiles/atm_resize.dir/reduced_demand.cpp.o" "gcc" "src/resize/CMakeFiles/atm_resize.dir/reduced_demand.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

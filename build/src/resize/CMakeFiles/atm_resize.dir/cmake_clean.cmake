@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_resize.dir/drf.cpp.o"
+  "CMakeFiles/atm_resize.dir/drf.cpp.o.d"
+  "CMakeFiles/atm_resize.dir/mckp.cpp.o"
+  "CMakeFiles/atm_resize.dir/mckp.cpp.o.d"
+  "CMakeFiles/atm_resize.dir/policies.cpp.o"
+  "CMakeFiles/atm_resize.dir/policies.cpp.o.d"
+  "CMakeFiles/atm_resize.dir/reduced_demand.cpp.o"
+  "CMakeFiles/atm_resize.dir/reduced_demand.cpp.o.d"
+  "libatm_resize.a"
+  "libatm_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

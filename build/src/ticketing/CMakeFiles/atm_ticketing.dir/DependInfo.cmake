@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ticketing/characterization.cpp" "src/ticketing/CMakeFiles/atm_ticketing.dir/characterization.cpp.o" "gcc" "src/ticketing/CMakeFiles/atm_ticketing.dir/characterization.cpp.o.d"
+  "/root/repo/src/ticketing/incidents.cpp" "src/ticketing/CMakeFiles/atm_ticketing.dir/incidents.cpp.o" "gcc" "src/ticketing/CMakeFiles/atm_ticketing.dir/incidents.cpp.o.d"
+  "/root/repo/src/ticketing/tickets.cpp" "src/ticketing/CMakeFiles/atm_ticketing.dir/tickets.cpp.o" "gcc" "src/ticketing/CMakeFiles/atm_ticketing.dir/tickets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/atm_tracegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_ticketing.dir/characterization.cpp.o"
+  "CMakeFiles/atm_ticketing.dir/characterization.cpp.o.d"
+  "CMakeFiles/atm_ticketing.dir/incidents.cpp.o"
+  "CMakeFiles/atm_ticketing.dir/incidents.cpp.o.d"
+  "CMakeFiles/atm_ticketing.dir/tickets.cpp.o"
+  "CMakeFiles/atm_ticketing.dir/tickets.cpp.o.d"
+  "libatm_ticketing.a"
+  "libatm_ticketing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_ticketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/analysis.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/analysis.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/analysis.cpp.o.d"
+  "/root/repo/src/timeseries/cdf.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/cdf.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/cdf.cpp.o.d"
+  "/root/repo/src/timeseries/features.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/features.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/features.cpp.o.d"
+  "/root/repo/src/timeseries/repair.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/repair.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/repair.cpp.o.d"
+  "/root/repo/src/timeseries/resource.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/resource.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/resource.cpp.o.d"
+  "/root/repo/src/timeseries/series.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/series.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/series.cpp.o.d"
+  "/root/repo/src/timeseries/stats.cpp" "src/timeseries/CMakeFiles/atm_timeseries.dir/stats.cpp.o" "gcc" "src/timeseries/CMakeFiles/atm_timeseries.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_timeseries.dir/analysis.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/analysis.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/cdf.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/cdf.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/features.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/features.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/repair.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/repair.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/resource.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/resource.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/series.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/series.cpp.o.d"
+  "CMakeFiles/atm_timeseries.dir/stats.cpp.o"
+  "CMakeFiles/atm_timeseries.dir/stats.cpp.o.d"
+  "libatm_timeseries.a"
+  "libatm_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

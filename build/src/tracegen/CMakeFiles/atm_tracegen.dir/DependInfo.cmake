@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracegen/generator.cpp" "src/tracegen/CMakeFiles/atm_tracegen.dir/generator.cpp.o" "gcc" "src/tracegen/CMakeFiles/atm_tracegen.dir/generator.cpp.o.d"
+  "/root/repo/src/tracegen/trace.cpp" "src/tracegen/CMakeFiles/atm_tracegen.dir/trace.cpp.o" "gcc" "src/tracegen/CMakeFiles/atm_tracegen.dir/trace.cpp.o.d"
+  "/root/repo/src/tracegen/trace_io.cpp" "src/tracegen/CMakeFiles/atm_tracegen.dir/trace_io.cpp.o" "gcc" "src/tracegen/CMakeFiles/atm_tracegen.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm_tracegen.dir/generator.cpp.o"
+  "CMakeFiles/atm_tracegen.dir/generator.cpp.o.d"
+  "CMakeFiles/atm_tracegen.dir/trace.cpp.o"
+  "CMakeFiles/atm_tracegen.dir/trace.cpp.o.d"
+  "CMakeFiles/atm_tracegen.dir/trace_io.cpp.o"
+  "CMakeFiles/atm_tracegen.dir/trace_io.cpp.o.d"
+  "libatm_tracegen.a"
+  "libatm_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

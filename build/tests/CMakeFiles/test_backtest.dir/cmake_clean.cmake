@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backtest.dir/test_backtest.cpp.o"
+  "CMakeFiles/test_backtest.dir/test_backtest.cpp.o.d"
+  "test_backtest"
+  "test_backtest.pdb"
+  "test_backtest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mediawiki.dir/test_mediawiki.cpp.o"
+  "CMakeFiles/test_mediawiki.dir/test_mediawiki.cpp.o.d"
+  "test_mediawiki"
+  "test_mediawiki.pdb"
+  "test_mediawiki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mediawiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_gradients.dir/test_nn_gradients.cpp.o"
+  "CMakeFiles/test_nn_gradients.dir/test_nn_gradients.cpp.o.d"
+  "test_nn_gradients"
+  "test_nn_gradients.pdb"
+  "test_nn_gradients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ticketing.dir/test_ticketing.cpp.o"
+  "CMakeFiles/test_ticketing.dir/test_ticketing.cpp.o.d"
+  "test_ticketing"
+  "test_ticketing.pdb"
+  "test_ticketing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ticketing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/test_trace_io.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_trace_io.dir/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/atm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mediawiki/CMakeFiles/atm_mediawiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/atm_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/atm_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/atm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ticketing/CMakeFiles/atm_ticketing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/atm_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/atm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/resize/CMakeFiles/atm_resize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

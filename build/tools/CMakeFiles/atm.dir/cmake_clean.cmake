@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atm.dir/atm_cli.cpp.o"
+  "CMakeFiles/atm.dir/atm_cli.cpp.o.d"
+  "atm"
+  "atm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
