@@ -1,13 +1,14 @@
 // Fig. 10: ticket reduction of the full ATM pipeline (spatial-temporal
 // prediction + resizing) against the max-min fairness and stingy
 // baselines, on gap-free boxes: 5 training days, resize the following day,
-// count tickets on the actual demands of that day.
+// count tickets on the actual demands of that day. One fleet run per
+// clustering method (ATM_JOBS workers).
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
 #include "tracegen/generator.hpp"
 
 int main() {
@@ -22,72 +23,67 @@ int main() {
     options.num_days = 6;
     options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
 
-    const std::vector<resize::ResizePolicy> policies{
-        resize::ResizePolicy::kAtmGreedy,
-        resize::ResizePolicy::kStingy,
-        resize::ResizePolicy::kMaxMinFairness,
-    };
+    trace::TraceGenOptions gen = options;
+    gen.num_boxes = options.num_boxes * 2;
+    const trace::Trace t = trace::generate_trace(gen);
 
     // ATM with both clustering methods + the two baselines (baselines see
-    // the same predicted demands ATM does).
-    struct Row {
-        const char* name;
-        core::ClusteringMethod method;
-        std::size_t policy_index;
-    };
-    const Row rows[] = {
-        {"ATM w/ DTW", core::ClusteringMethod::kDtw, 0},
-        {"ATM w/ CBC", core::ClusteringMethod::kCbc, 0},
-        {"Stingy", core::ClusteringMethod::kCbc, 1},
-        {"Max-min fairness", core::ClusteringMethod::kCbc, 2},
-    };
-
+    // the same predicted demands ATM does, from the CBC run).
+    const char* row_names[] = {"ATM w/ DTW", "ATM w/ CBC", "Stingy",
+                               "Max-min fairness"};
     std::vector<double> cpu_reduction[4];
     std::vector<double> ram_reduction[4];
 
-    int evaluated = 0;
-    for (int b = 0; b < options.num_boxes * 2 && evaluated < options.num_boxes;
-         ++b) {
-        const trace::BoxTrace box = trace::generate_box(options, b);
-        if (box.has_gaps) continue;
-        ++evaluated;
-        for (int m = 0; m < 2; ++m) {
-            core::PipelineConfig config;
-            config.search.method = m == 0 ? core::ClusteringMethod::kDtw
-                                          : core::ClusteringMethod::kCbc;
-            config.temporal = forecast::TemporalModel::kNeuralNetwork;
-            config.train_days = 5;
-            const auto result = core::run_pipeline_on_box(
-                box, options.windows_per_day, config, policies);
-            // ATM row m; baseline rows only from the CBC run (row index 2, 3).
-            auto record = [&](std::size_t row, const core::PolicyTickets& t) {
-                if (t.cpu_before > 0) {
-                    cpu_reduction[row].push_back(t.cpu_reduction_pct());
-                }
-                if (t.ram_before > 0) {
-                    ram_reduction[row].push_back(t.ram_reduction_pct());
-                }
-            };
-            record(static_cast<std::size_t>(m), result.policies[0]);
+    auto record = [&](std::size_t row, const core::PolicyTickets& ticket) {
+        if (ticket.cpu_before > 0) {
+            cpu_reduction[row].push_back(ticket.cpu_reduction_pct());
+        }
+        if (ticket.ram_before > 0) {
+            ram_reduction[row].push_back(ticket.ram_reduction_pct());
+        }
+    };
+
+    std::size_t evaluated = 0;
+    for (int m = 0; m < 2; ++m) {
+        core::FleetConfig config;
+        config.pipeline.search.method = m == 0 ? core::ClusteringMethod::kDtw
+                                               : core::ClusteringMethod::kCbc;
+        config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+        config.pipeline.train_days = 5;
+        config.jobs = bench::env_int("ATM_JOBS", 0);
+        config.max_boxes = options.num_boxes;
+        config.policies = {
+            resize::ResizePolicy::kAtmGreedy,
+            resize::ResizePolicy::kStingy,
+            resize::ResizePolicy::kMaxMinFairness,
+        };
+
+        const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+        evaluated = fleet.boxes_evaluated();
+        for (const core::FleetBoxResult& b : fleet.boxes) {
+            if (!b.error.empty()) continue;
+            record(static_cast<std::size_t>(m), b.result.policies[0]);
             if (m == 1) {
-                record(2, result.policies[1]);
-                record(3, result.policies[2]);
+                record(2, b.result.policies[1]);
+                record(3, b.result.policies[2]);
             }
         }
+        std::printf("%s: %zu boxes, %d jobs, %.2fs wall\n", row_names[m],
+                    fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
     }
-    std::printf("evaluated %d gap-free boxes\n\n", evaluated);
+    std::printf("evaluated %zu gap-free boxes\n\n", evaluated);
 
     std::printf("reduction in tickets (%%), boxes with tickets before:\n\nCPU:\n");
     for (std::size_t r = 0; r < 4; ++r) {
         const ts::Summary s = ts::summarize(cpu_reduction[r]);
         std::printf("  %-18s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu)\n",
-                    rows[r].name, s.mean, s.median, s.stddev, s.count);
+                    row_names[r], s.mean, s.median, s.stddev, s.count);
     }
     std::printf("RAM:\n");
     for (std::size_t r = 0; r < 4; ++r) {
         const ts::Summary s = ts::summarize(ram_reduction[r]);
         std::printf("  %-18s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu)\n",
-                    rows[r].name, s.mean, s.median, s.stddev, s.count);
+                    row_names[r], s.mean, s.median, s.stddev, s.count);
     }
     return 0;
 }

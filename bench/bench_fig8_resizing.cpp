@@ -1,13 +1,14 @@
 // Fig. 8: ticket reduction with *perfect* demand knowledge — the resizing
 // algorithms see the actual demands of the evaluation day (no prediction).
 // Compares ATM with and without epsilon-discretization against the
-// max-min fairness and stingy baselines, for CPU and RAM.
+// max-min fairness and stingy baselines, for CPU and RAM. Runs on the
+// fleet executor (ATM_JOBS workers, default hardware concurrency).
 
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
 #include "tracegen/generator.hpp"
 
 int main() {
@@ -21,9 +22,14 @@ int main() {
     options.num_boxes = bench::env_int("ATM_BOXES", 400);
     options.num_days = 2;  // day 0 provides the lower-bound history
     options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
-    const double epsilon_pct = bench::env_double("ATM_EPSILON_PCT", 5.0);
+    const trace::Trace t = trace::generate_trace(options);
 
-    const std::vector<resize::ResizePolicy> policies{
+    core::FleetConfig config;
+    config.pipeline.epsilon_pct = bench::env_double("ATM_EPSILON_PCT", 5.0);
+    config.pipeline.alpha = 0.6;
+    config.jobs = bench::env_int("ATM_JOBS", 0);
+    config.skip_gappy_boxes = false;  // the perfect-knowledge study keeps all
+    config.policies = {
         resize::ResizePolicy::kAtmGreedyNoDiscretization,
         resize::ResizePolicy::kAtmGreedy,
         resize::ResizePolicy::kStingy,
@@ -32,33 +38,30 @@ int main() {
     const char* names[] = {"ATM w/o discretizing", "ATM w/ discretizing",
                            "Stingy", "Max-min fairness"};
 
+    const core::FleetResult fleet = core::evaluate_resize_on_fleet(t, /*day=*/1, config);
+
     std::vector<double> cpu_reduction[4];
     std::vector<double> ram_reduction[4];
-
-    for (int b = 0; b < options.num_boxes; ++b) {
-        const trace::BoxTrace box = trace::generate_box(options, b);
-        const auto results = core::evaluate_resize_policies_on_actuals(
-            box, options.windows_per_day, /*day=*/1, /*alpha=*/0.6, epsilon_pct,
-            policies);
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            if (results[p].cpu_before > 0) {
-                cpu_reduction[p].push_back(results[p].cpu_reduction_pct());
-            }
-            if (results[p].ram_before > 0) {
-                ram_reduction[p].push_back(results[p].ram_reduction_pct());
-            }
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        if (!b.error.empty()) continue;
+        for (std::size_t p = 0; p < config.policies.size(); ++p) {
+            const core::PolicyTickets& r = b.result.policies[p];
+            if (r.cpu_before > 0) cpu_reduction[p].push_back(r.cpu_reduction_pct());
+            if (r.ram_before > 0) ram_reduction[p].push_back(r.ram_reduction_pct());
         }
     }
 
+    std::printf("evaluated %zu boxes with %d jobs in %.2fs wall\n\n",
+                fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
     std::printf("reduction in tickets (%%), over boxes that had tickets:\n\n");
     std::printf("CPU:\n");
-    for (std::size_t p = 0; p < policies.size(); ++p) {
+    for (std::size_t p = 0; p < config.policies.size(); ++p) {
         const ts::Summary s = ts::summarize(cpu_reduction[p]);
         std::printf("  %-22s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu boxes)\n",
                     names[p], s.mean, s.median, s.stddev, s.count);
     }
     std::printf("RAM:\n");
-    for (std::size_t p = 0; p < policies.size(); ++p) {
+    for (std::size_t p = 0; p < config.policies.size(); ++p) {
         const ts::Summary s = ts::summarize(ram_reduction[p]);
         std::printf("  %-22s mean=%7.1f%%  median=%7.1f%%  std=%6.1f  (n=%zu boxes)\n",
                     names[p], s.mean, s.median, s.stddev, s.count);

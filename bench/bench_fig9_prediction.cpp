@@ -3,12 +3,14 @@
 // neural-network temporal model, trained on 5 days and predicting the
 // following day. Reports per-box mean APE over all windows ("All") and
 // over windows whose actual usage exceeds the 60% threshold ("Peak").
+// Each clustering method is one fleet run (ATM_JOBS workers).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
 #include "tracegen/generator.hpp"
 
 int main() {
@@ -22,31 +24,40 @@ int main() {
     options.num_days = 6;  // 5 training days + 1 evaluation day
     options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
 
+    // Generate a double-size population and let the fleet driver keep the
+    // first ATM_BOXES gap-free boxes (the paper evaluates gap-free only).
+    trace::TraceGenOptions gen = options;
+    gen.num_boxes = options.num_boxes * 2;
+    const trace::Trace t = trace::generate_trace(gen);
+
     std::vector<double> ape_all[2];
     std::vector<double> ape_peak[2];
     const char* names[] = {"ATM w/ DTW", "ATM w/ CBC"};
 
-    int evaluated = 0;
-    for (int b = 0; b < options.num_boxes * 2 && evaluated < options.num_boxes;
-         ++b) {
-        const trace::BoxTrace box = trace::generate_box(options, b);
-        if (box.has_gaps) continue;  // the paper keeps only gap-free boxes
-        ++evaluated;
-        for (int m = 0; m < 2; ++m) {
-            core::PipelineConfig config;
-            config.search.method = m == 0 ? core::ClusteringMethod::kDtw
-                                          : core::ClusteringMethod::kCbc;
-            config.temporal = forecast::TemporalModel::kNeuralNetwork;
-            config.train_days = 5;
-            const auto result =
-                core::run_pipeline_on_box(box, options.windows_per_day, config, {});
-            ape_all[m].push_back(100.0 * result.ape_all);
-            if (result.ape_peak > 0.0) {
-                ape_peak[m].push_back(100.0 * result.ape_peak);
+    std::size_t evaluated = 0;
+    for (int m = 0; m < 2; ++m) {
+        core::FleetConfig config;
+        config.pipeline.search.method = m == 0 ? core::ClusteringMethod::kDtw
+                                               : core::ClusteringMethod::kCbc;
+        config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+        config.pipeline.train_days = 5;
+        config.jobs = bench::env_int("ATM_JOBS", 0);
+        config.max_boxes = options.num_boxes;
+        config.policies.clear();  // accuracy study: no resizing
+
+        const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+        evaluated = fleet.boxes_evaluated();
+        for (const core::FleetBoxResult& b : fleet.boxes) {
+            if (!b.error.empty()) continue;
+            ape_all[m].push_back(100.0 * b.result.ape_all);
+            if (b.result.ape_peak > 0.0) {
+                ape_peak[m].push_back(100.0 * b.result.ape_peak);
             }
         }
+        std::printf("%s: %zu boxes, %d jobs, %.2fs wall\n", names[m],
+                    fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
     }
-    std::printf("evaluated %d gap-free boxes\n\n", evaluated);
+    std::printf("evaluated %zu gap-free boxes\n\n", evaluated);
 
     for (int m = 0; m < 2; ++m) {
         std::printf("%s: mean APE all=%.1f%%, peak=%.1f%%\n", names[m],

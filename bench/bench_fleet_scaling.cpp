@@ -1,0 +1,78 @@
+// Fleet-executor scaling study: wall-clock of the full ATM pipeline over
+// a box population at increasing worker counts, against the legacy
+// serial loop (run_pipeline_on_box per box, one thread, no pool).
+//
+// Prints per-jobs wall time, speedup over serial, and verifies that the
+// fleet aggregates are bit-identical at every worker count — the
+// executor's determinism contract.
+//
+// Knobs: ATM_BOXES (default 24), ATM_MAX_JOBS (default hardware
+// concurrency), ATM_SEED.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/fleet.hpp"
+#include "tracegen/generator.hpp"
+
+int main() {
+    using namespace atm;
+    bench::banner("Fleet executor — wall-clock scaling vs worker count",
+                  "embarrassingly parallel per-box batch; target >=2x at 4 cores");
+
+    trace::TraceGenOptions options;
+    options.num_boxes = bench::env_int("ATM_BOXES", 24);
+    options.num_days = 6;
+    options.gappy_box_fraction = 0.0;
+    options.seed = static_cast<std::uint64_t>(bench::env_int("ATM_SEED", 20150403));
+    const trace::Trace t = trace::generate_trace(options);
+
+    core::FleetConfig config;
+    config.pipeline.search.method = core::ClusteringMethod::kDtw;
+    config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+    config.pipeline.train_days = 5;
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int max_jobs = bench::env_int("ATM_MAX_JOBS",
+                                        hw == 0 ? 1 : static_cast<int>(hw));
+
+    std::printf("%zu boxes, %u hardware threads\n\n", t.boxes.size(),
+                hw);
+    std::printf("%6s %10s %9s %s\n", "jobs", "wall(s)", "speedup", "identical");
+
+    double serial_wall = 0.0;
+    core::FleetResult reference;
+    std::vector<int> job_counts{1};
+    for (int j = 2; j <= max_jobs; j *= 2) job_counts.push_back(j);
+    if (job_counts.back() != max_jobs && max_jobs > 1) {
+        job_counts.push_back(max_jobs);
+    }
+
+    for (const int jobs : job_counts) {
+        config.jobs = jobs;
+        const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+        bool identical = true;
+        if (jobs == 1) {
+            serial_wall = fleet.wall_seconds;
+            reference = fleet;
+        } else {
+            for (std::size_t b = 0; identical && b < fleet.boxes.size(); ++b) {
+                const auto& got = fleet.boxes[b].result;
+                const auto& want = reference.boxes[b].result;
+                identical = got.ape_all == want.ape_all &&
+                            got.ape_peak == want.ape_peak &&
+                            got.policies.size() == want.policies.size();
+                for (std::size_t p = 0; identical && p < got.policies.size(); ++p) {
+                    identical = got.policies[p].cpu_after == want.policies[p].cpu_after &&
+                                got.policies[p].ram_after == want.policies[p].ram_after;
+                }
+            }
+        }
+        std::printf("%6d %10.2f %8.2fx %s\n", jobs, fleet.wall_seconds,
+                    serial_wall > 0.0 ? serial_wall / fleet.wall_seconds : 1.0,
+                    jobs == 1 ? "(reference)" : (identical ? "yes" : "NO"));
+    }
+    return 0;
+}

@@ -1,16 +1,21 @@
 // Microbenchmarks (google-benchmark) backing the paper's "low
 // computational overhead" claim: per-operation cost of the building
 // blocks — DTW distance, hierarchical clustering, CBC, OLS fit, the MCKP
-// greedy, and MLP training — at per-box problem sizes.
+// greedy, and MLP training — at per-box problem sizes, plus the fleet
+// executor (per-worker-count pipeline throughput and the parallel DTW
+// matrix).
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <random>
 #include <vector>
 
 #include "cluster/cbc.hpp"
 #include "cluster/dtw.hpp"
 #include "cluster/hierarchical.hpp"
+#include "core/fleet.hpp"
+#include "exec/thread_pool.hpp"
 #include "forecast/mlp_forecaster.hpp"
 #include "forecast/seasonal_naive.hpp"
 #include "linalg/ols.hpp"
@@ -109,6 +114,43 @@ void BM_SeasonalNaive(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SeasonalNaive);
+
+/// Parallel DTW matrix fill: arg = pool worker count (0 = serial path).
+void BM_DtwMatrixParallel(benchmark::State& state) {
+    const auto series = box_series(1);
+    const auto workers = static_cast<unsigned>(state.range(0));
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (workers > 0) pool = std::make_unique<exec::ThreadPool>(workers);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::dtw_distance_matrix(series, -1, pool.get()).size());
+    }
+}
+BENCHMARK(BM_DtwMatrixParallel)->Arg(0)->Arg(2)->Arg(4);
+
+/// Fleet-driver throughput at a given worker count: the full per-box
+/// pipeline (DTW signature search + seasonal-naive temporal model +
+/// greedy resize) over a small fixed fleet. Arg = FleetConfig::jobs;
+/// comparing Arg(1) with Arg(4+) is the multi-core speedup of the fleet
+/// scheduler (bench_fleet_scaling prints the same as a speedup table).
+void BM_FleetPipeline(benchmark::State& state) {
+    static const trace::Trace t = [] {
+        trace::TraceGenOptions options;
+        options.num_boxes = 8;
+        options.num_days = 6;
+        options.gappy_box_fraction = 0.0;
+        return trace::generate_trace(options);
+    }();
+    core::FleetConfig config;
+    config.pipeline.search.method = core::ClusteringMethod::kDtw;
+    config.pipeline.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.jobs = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+        benchmark::DoNotOptimize(fleet.totals.front().cpu_after);
+    }
+}
+BENCHMARK(BM_FleetPipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,13 +3,13 @@
 // operator-style report: where the tickets are, who the culprits are, how
 // well they can be predicted, and how many tickets resizing removes.
 //
-// Usage: datacenter_study [num_boxes] [threshold_pct]
+// Usage: datacenter_study [num_boxes] [threshold_pct] [jobs]
 
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
 #include "ticketing/characterization.hpp"
 #include "timeseries/stats.hpp"
 #include "tracegen/generator.hpp"
@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
     using namespace atm;
     const int num_boxes = argc > 1 ? std::atoi(argv[1]) : 60;
     const double threshold = argc > 2 ? std::atof(argv[2]) : 60.0;
+    const int jobs = argc > 3 ? std::atoi(argv[3]) : 0;
 
     trace::TraceGenOptions gen;
     gen.num_boxes = num_boxes;
@@ -45,29 +46,34 @@ int main(int argc, char** argv) {
                 ts::mean(corr.intra_cpu), ts::mean(corr.intra_ram),
                 ts::mean(corr.inter_all), ts::mean(corr.inter_pair));
 
-    // --- ATM over the gap-free subset ---------------------------------------
-    core::PipelineConfig config;
-    config.search.method = core::ClusteringMethod::kCbc;
-    config.temporal = forecast::TemporalModel::kAutoregressive;  // fast
-    config.alpha = threshold / 100.0;
+    // --- ATM over the gap-free subset, on the fleet executor ----------------
+    core::FleetConfig config;
+    config.pipeline.search.method = core::ClusteringMethod::kCbc;
+    config.pipeline.temporal = forecast::TemporalModel::kAutoregressive;  // fast
+    config.pipeline.alpha = threshold / 100.0;
+    config.jobs = jobs;  // 0 = hardware concurrency
+    if (const std::string problems = config.validate(); !problems.empty()) {
+        std::fprintf(stderr, "bad config: %s\n", problems.c_str());
+        return 1;
+    }
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(trace, config);
 
     std::vector<double> ratios;
     std::vector<double> apes;
-    long before = 0;
-    long after = 0;
-    int evaluated = 0;
-    for (const trace::BoxTrace& box : trace.boxes) {
-        if (box.has_gaps) continue;
-        ++evaluated;
-        const auto result = core::run_pipeline_on_box(
-            box, gen.windows_per_day, config, {resize::ResizePolicy::kAtmGreedy});
-        ratios.push_back(100.0 * result.search.signature_ratio(box.vms.size() * 2));
-        apes.push_back(100.0 * result.ape_all);
-        before += result.policies[0].cpu_before + result.policies[0].ram_before;
-        after += result.policies[0].cpu_after + result.policies[0].ram_after;
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        if (!b.error.empty()) continue;
+        const std::size_t series =
+            trace.boxes[static_cast<std::size_t>(b.box_index)].vms.size() * 2;
+        ratios.push_back(100.0 * b.result.search.signature_ratio(series));
+        apes.push_back(100.0 * b.result.ape_all);
     }
+    const long before = fleet.totals[0].cpu_before + fleet.totals[0].ram_before;
+    const long after = fleet.totals[0].cpu_after + fleet.totals[0].ram_after;
 
-    std::printf("ATM on %d gap-free boxes (CBC + AR temporal model):\n", evaluated);
+    std::printf("ATM on %zu gap-free boxes (CBC + AR temporal model, %d jobs, "
+                "%.2fs wall):\n",
+                fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
     std::printf("  signature ratio: mean %.0f%% of series need a temporal model\n",
                 ts::mean(ratios));
     std::printf("  next-day prediction APE: mean %.1f%%\n", ts::mean(apes));

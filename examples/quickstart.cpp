@@ -11,7 +11,7 @@
 
 #include <cstdio>
 
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
 #include "tracegen/generator.hpp"
 
 int main() {
@@ -26,17 +26,24 @@ int main() {
                 box.vms.size(), box.cpu_capacity_ghz, box.ram_capacity_gb);
 
     // --- 2..4. the full ATM pipeline -------------------------------------
-    core::PipelineConfig config;
-    config.search.method = core::ClusteringMethod::kCbc;
-    config.temporal = forecast::TemporalModel::kNeuralNetwork;
-    config.train_days = 5;
-    config.alpha = 0.6;       // 60% ticket threshold
-    config.epsilon_pct = 5.0; // the paper's discretization factor
+    // FleetConfig is the one place pipeline parameters are declared and
+    // validated; fleet runs take it directly, single-box runs use .pipeline.
+    core::FleetConfig config;
+    config.pipeline.search.method = core::ClusteringMethod::kCbc;
+    config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+    config.pipeline.train_days = 5;
+    config.pipeline.alpha = 0.6;       // 60% ticket threshold
+    config.pipeline.epsilon_pct = 5.0; // the paper's discretization factor
+    config.policies = {resize::ResizePolicy::kAtmGreedy,
+                       resize::ResizePolicy::kMaxMinFairness,
+                       resize::ResizePolicy::kStingy};
+    if (const std::string problems = config.validate(); !problems.empty()) {
+        std::fprintf(stderr, "bad config: %s\n", problems.c_str());
+        return 1;
+    }
 
     const core::BoxPipelineResult result = core::run_pipeline_on_box(
-        box, gen.windows_per_day, config,
-        {resize::ResizePolicy::kAtmGreedy, resize::ResizePolicy::kMaxMinFairness,
-         resize::ResizePolicy::kStingy});
+        box, gen.windows_per_day, config.pipeline, config.policies);
 
     // --- 5. results --------------------------------------------------------
     std::printf("\nsignature series: %zu of %zu (%.0f%%), %d clusters\n",

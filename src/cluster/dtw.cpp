@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+
+#include "exec/thread_pool.hpp"
 
 namespace atm::cluster {
 
@@ -90,17 +93,42 @@ DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q) {
 }
 
 std::vector<std::vector<double>> dtw_distance_matrix(
-    const std::vector<std::vector<double>>& series, int band) {
+    const std::vector<std::vector<double>>& series, int band,
+    exec::ThreadPool* pool) {
     const std::size_t n = series.size();
     std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
-    for (std::size_t i = 0; i < n; ++i) {
+    // One task per upper-triangle row; each writes only cells (i, j>i) and
+    // their mirror (j, i), which no other row touches, so the parallel and
+    // serial fills are bit-identical.
+    exec::parallel_for_each(pool, n, [&](std::size_t i) {
         for (std::size_t j = i + 1; j < n; ++j) {
             const double d = dtw_distance(series[i], series[j], band);
             dist[i][j] = d;
             dist[j][i] = d;
         }
-    }
+    });
     return dist;
+}
+
+const std::vector<std::vector<double>>& DtwMatrixCache::matrix(
+    const std::vector<std::vector<double>>& series, int band,
+    exec::ThreadPool* pool) {
+    if (series_count_ == 0) {
+        series_count_ = series.size();
+    } else if (series_count_ != series.size()) {
+        throw std::invalid_argument(
+            "DtwMatrixCache: series-set size changed; one cache serves one "
+            "series set (call clear() between boxes)");
+    }
+    const auto it = by_band_.find(band);
+    if (it != by_band_.end()) return it->second;
+    return by_band_.emplace(band, dtw_distance_matrix(series, band, pool))
+        .first->second;
+}
+
+void DtwMatrixCache::clear() {
+    series_count_ = 0;
+    by_band_.clear();
 }
 
 }  // namespace atm::cluster

@@ -1,7 +1,12 @@
 #pragma once
 
+#include <map>
 #include <span>
 #include <vector>
+
+namespace atm::exec {
+class ThreadPool;
+}
 
 namespace atm::cluster {
 
@@ -22,9 +27,42 @@ double dtw_distance(std::span<const double> p, std::span<const double> q,
                     int band = -1);
 
 /// Pairwise DTW distance matrix over a set of series. Symmetric with a
-/// zero diagonal. O(n² · len²) — fine for per-box series counts (~20).
+/// zero diagonal; only the upper triangle is computed. O(n² · len²) — the
+/// dominant cost of the DTW signature search. When `pool` is non-null the
+/// triangle's rows are computed on the pool (each (i, j) cell is
+/// independent, so the result is identical for any worker count).
 std::vector<std::vector<double>> dtw_distance_matrix(
-    const std::vector<std::vector<double>>& series, int band = -1);
+    const std::vector<std::vector<double>>& series, int band = -1,
+    exec::ThreadPool* pool = nullptr);
+
+/// Memoizes DTW distance matrices per (series set, band).
+///
+/// One cache serves one fixed series set — a box's training window — and
+/// hands out the matrix for any band, computing it at most once per band.
+/// Callers that probe the same box repeatedly (step-1-only vs two-step
+/// searches, band ablations, repeated cluster/silhouette sweeps) stop
+/// paying the O(n² · len²) recompute. The cache verifies the series-set
+/// cardinality as a cheap guard against accidental reuse across boxes;
+/// it is NOT thread-safe — use one instance per box task.
+class DtwMatrixCache {
+public:
+    /// Returns the (possibly cached) matrix for `series` at `band`.
+    /// Throws std::invalid_argument if `series` has a different cardinality
+    /// than the set the cache was first used with.
+    const std::vector<std::vector<double>>& matrix(
+        const std::vector<std::vector<double>>& series, int band = -1,
+        exec::ThreadPool* pool = nullptr);
+
+    /// Drops all memoized matrices (e.g. when moving to the next box).
+    void clear();
+
+    /// Number of distinct bands currently memoized.
+    [[nodiscard]] std::size_t size() const { return by_band_.size(); }
+
+private:
+    std::size_t series_count_ = 0;
+    std::map<int, std::vector<std::vector<double>>> by_band_;
+};
 
 /// Full DTW alignment: the optimal warping path as (i, j) index pairs
 /// (0-based, monotone, from (0, 0) to (n-1, m-1)) plus the cumulative

@@ -1,0 +1,186 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "cluster/dtw.hpp"
+#include "exec/seed.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace atm::core {
+namespace {
+
+/// Resolves FleetConfig::jobs to a concrete worker count.
+unsigned resolve_jobs(int jobs) {
+    if (jobs > 0) return static_cast<unsigned>(jobs);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+/// Indices of the boxes a fleet run evaluates, in trace order.
+std::vector<int> select_boxes(const trace::Trace& trace,
+                              const FleetConfig& config) {
+    std::vector<int> selected;
+    for (std::size_t b = 0; b < trace.boxes.size(); ++b) {
+        const trace::BoxTrace& box = trace.boxes[b];
+        if (config.skip_gappy_boxes && box.has_gaps) continue;
+        if (!config.box_names.empty() &&
+            std::find(config.box_names.begin(), config.box_names.end(),
+                      box.name) == config.box_names.end()) {
+            continue;
+        }
+        if (config.max_boxes >= 0 &&
+            selected.size() >= static_cast<std::size_t>(config.max_boxes)) {
+            break;
+        }
+        selected.push_back(static_cast<int>(b));
+    }
+    return selected;
+}
+
+/// Sums per-box policy tickets into the fleet totals and computes the
+/// mean APEs; boxes that failed contribute nothing.
+void aggregate(const FleetConfig& config, FleetResult& fleet) {
+    fleet.totals.assign(config.policies.size(), PolicyTickets{});
+    for (std::size_t p = 0; p < config.policies.size(); ++p) {
+        fleet.totals[p].policy = config.policies[p];
+    }
+    double ape_all_sum = 0.0;
+    double ape_peak_sum = 0.0;
+    std::size_t evaluated = 0;
+    std::size_t peak_boxes = 0;
+    for (const FleetBoxResult& b : fleet.boxes) {
+        if (!b.error.empty()) {
+            ++fleet.boxes_failed;
+            continue;
+        }
+        ++evaluated;
+        ape_all_sum += b.result.ape_all;
+        if (b.result.ape_peak > 0.0) {
+            ape_peak_sum += b.result.ape_peak;
+            ++peak_boxes;
+        }
+        for (std::size_t p = 0;
+             p < b.result.policies.size() && p < fleet.totals.size(); ++p) {
+            fleet.totals[p].cpu_before += b.result.policies[p].cpu_before;
+            fleet.totals[p].cpu_after += b.result.policies[p].cpu_after;
+            fleet.totals[p].ram_before += b.result.policies[p].ram_before;
+            fleet.totals[p].ram_after += b.result.policies[p].ram_after;
+        }
+    }
+    if (evaluated > 0) {
+        fleet.mean_ape_all = ape_all_sum / static_cast<double>(evaluated);
+    }
+    if (peak_boxes > 0) {
+        fleet.mean_ape_peak = ape_peak_sum / static_cast<double>(peak_boxes);
+    }
+}
+
+/// Shared scheduling skeleton of both fleet drivers: validate, select,
+/// fan one task per box out on the pool, fill result slots by index, and
+/// aggregate. `evaluate_box` must be thread-compatible (it only receives
+/// the box index and writes the slot it owns).
+template <typename EvaluateBox>
+FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
+                      const EvaluateBox& evaluate_box) {
+    if (const std::string problems = config.validate(); !problems.empty()) {
+        throw std::invalid_argument("FleetConfig: " + problems);
+    }
+    const auto start = std::chrono::steady_clock::now();
+
+    FleetResult fleet;
+    fleet.boxes_in_trace = trace.boxes.size();
+    const std::vector<int> selected = select_boxes(trace, config);
+    fleet.boxes_skipped = trace.boxes.size() - selected.size();
+
+    const unsigned jobs = resolve_jobs(config.jobs);
+    fleet.jobs = static_cast<int>(jobs);
+    // jobs == 1 runs strictly on the calling thread; the determinism tests
+    // compare this path against the pooled one.
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs);
+
+    fleet.boxes.resize(selected.size());
+    exec::parallel_for_each(pool.get(), selected.size(), [&](std::size_t task) {
+        const int box_index = selected[task];
+        FleetBoxResult& slot = fleet.boxes[task];
+        slot.box_index = box_index;
+        slot.box_name = trace.boxes[static_cast<std::size_t>(box_index)].name;
+        try {
+            evaluate_box(box_index, pool.get(), slot.result);
+        } catch (const std::exception& e) {
+            slot.error = e.what();
+        }
+    });
+
+    aggregate(config, fleet);
+    fleet.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return fleet;
+}
+
+}  // namespace
+
+std::string FleetConfig::validate() const {
+    std::string problems;
+    const auto add = [&problems](const std::string& p) {
+        if (!problems.empty()) problems += "; ";
+        problems += p;
+    };
+    if (pipeline.alpha <= 0.0 || pipeline.alpha >= 1.0) {
+        add("alpha must be in (0, 1), got " + std::to_string(pipeline.alpha));
+    }
+    if (pipeline.train_days < 1) {
+        add("train_days must be >= 1, got " + std::to_string(pipeline.train_days));
+    }
+    if (pipeline.epsilon_pct < 0.0) {
+        add("epsilon_pct must be >= 0 (0 disables discretization), got " +
+            std::to_string(pipeline.epsilon_pct));
+    }
+    if (jobs < 0) {
+        add("jobs must be >= 0 (0 = hardware concurrency), got " +
+            std::to_string(jobs));
+    }
+    return problems;
+}
+
+FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
+                                  const FleetConfig& config) {
+    return run_fleet(
+        trace, config,
+        [&trace, &config](int box_index, exec::ThreadPool* pool,
+                          BoxPipelineResult& out) {
+            PipelineConfig box_config = config.pipeline;
+            // Per-box seed from (fleet seed, box index): independent of
+            // worker count and scheduling order, distinct per box.
+            box_config.seed = static_cast<unsigned>(exec::derive_seed(
+                config.pipeline.seed, static_cast<std::uint64_t>(box_index)));
+            // Let the box borrow the fleet pool for its DTW matrix and
+            // memoize the matrix across the cluster sweep.
+            cluster::DtwMatrixCache dtw_cache;
+            box_config.search.pool = pool;
+            box_config.search.dtw_cache = &dtw_cache;
+            out = run_pipeline_on_box(
+                trace.boxes[static_cast<std::size_t>(box_index)],
+                trace.windows_per_day, box_config, config.policies);
+        });
+}
+
+FleetResult evaluate_resize_on_fleet(const trace::Trace& trace, int day,
+                                     const FleetConfig& config) {
+    return run_fleet(trace, config,
+                     [&trace, &config, day](int box_index, exec::ThreadPool*,
+                                            BoxPipelineResult& out) {
+                         out.policies = evaluate_resize_policies_on_actuals(
+                             trace.boxes[static_cast<std::size_t>(box_index)],
+                             trace.windows_per_day, day, config.pipeline.alpha,
+                             config.pipeline.epsilon_pct, config.policies,
+                             config.pipeline.use_lower_bounds);
+                     });
+}
+
+}  // namespace atm::core

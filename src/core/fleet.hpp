@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace atm::core {
+
+/// Fleet-level configuration: the per-box PipelineConfig plus execution
+/// and box-selection knobs. The CLI and examples construct pipeline runs
+/// only through this type, so every entry point shares one validation
+/// path (`validate()`) instead of each caller re-checking ranges.
+struct FleetConfig {
+    PipelineConfig pipeline;
+
+    /// Worker threads for the fleet scheduler: 0 = hardware concurrency,
+    /// 1 = fully serial (no pool). Results are bit-identical for every
+    /// value — per-box seeds are derived from `pipeline.seed` and the box
+    /// index (splitmix64), never from scheduling order.
+    int jobs = 0;
+
+    /// Drop boxes whose monitoring data has gaps (the paper's Section V
+    /// evaluation keeps only the gap-free boxes).
+    bool skip_gappy_boxes = true;
+
+    /// Evaluate only boxes with these names; empty = every box.
+    std::vector<std::string> box_names;
+
+    /// Evaluate at most this many selected boxes (in trace order);
+    /// negative = unlimited.
+    int max_boxes = -1;
+
+    /// Policies evaluated per box. Empty = prediction only (no resizing),
+    /// as in the Fig. 9 accuracy study.
+    std::vector<resize::ResizePolicy> policies = default_policies();
+
+    /// Empty string when the configuration is usable; otherwise a
+    /// human-readable description of every out-of-range value.
+    [[nodiscard]] std::string validate() const;
+};
+
+/// Outcome of one box inside a fleet run.
+struct FleetBoxResult {
+    /// Index into Trace::boxes (results are returned in trace order,
+    /// independent of worker scheduling).
+    int box_index = -1;
+    std::string box_name;
+    BoxPipelineResult result;
+    /// Non-empty if the box's pipeline threw; `result` is then empty and
+    /// the box is excluded from the aggregates below.
+    std::string error;
+};
+
+/// Fleet-level outcome: per-box results plus cross-box aggregates.
+struct FleetResult {
+    /// One entry per *evaluated* box (selected, gap-filtered, capped), in
+    /// trace order.
+    std::vector<FleetBoxResult> boxes;
+
+    std::size_t boxes_in_trace = 0;
+    /// Boxes excluded by name selection, the gap filter, or `max_boxes`.
+    std::size_t boxes_skipped = 0;
+    /// Boxes whose pipeline threw (subset of `boxes`).
+    std::size_t boxes_failed = 0;
+
+    /// Fleet-wide ticket sums per policy, same order as
+    /// FleetConfig::policies: cpu/ram before and after summed over every
+    /// successfully evaluated box.
+    std::vector<PolicyTickets> totals;
+
+    /// Mean per-box APE over successfully evaluated boxes ("All" /
+    /// "Peak" of Fig. 9; peak mean skips boxes without peak windows).
+    double mean_ape_all = 0.0;
+    double mean_ape_peak = 0.0;
+
+    /// Wall-clock duration of the run (scheduling + compute).
+    double wall_seconds = 0.0;
+    /// Worker count actually used (jobs after hardware-concurrency
+    /// resolution).
+    int jobs = 0;
+
+    [[nodiscard]] std::size_t boxes_evaluated() const {
+        return boxes.size() - boxes_failed;
+    }
+};
+
+/// Runs the full ATM pipeline over every selected box of the trace, one
+/// pool task per box. Throws std::invalid_argument when
+/// `config.validate()` reports problems. Deterministic: per-box seeds are
+/// splitmix64-derived from (config.pipeline.seed, box index), per-box DTW
+/// matrices are memoized, and results land in trace order — `jobs = 1`
+/// and `jobs = N` produce bit-identical results.
+FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
+                                  const FleetConfig& config);
+
+/// Fleet version of the Fig. 8 study: resizing with *perfect* demand
+/// knowledge of day `day` (no prediction; `pipeline.temporal`,
+/// `pipeline.search` and the seed are unused). Only the `policies`
+/// tickets of each FleetBoxResult are populated.
+FleetResult evaluate_resize_on_fleet(const trace::Trace& trace, int day,
+                                     const FleetConfig& config);
+
+}  // namespace atm::core

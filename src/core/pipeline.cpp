@@ -66,6 +66,12 @@ void run_policies_for_kind(
 
 }  // namespace
 
+const std::vector<resize::ResizePolicy>& default_policies() {
+    static const std::vector<resize::ResizePolicy> kDefault{
+        resize::ResizePolicy::kAtmGreedy};
+    return kDefault;
+}
+
 BoxPipelineResult run_pipeline_on_box(
     const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
     const std::vector<resize::ResizePolicy>& policies) {

@@ -72,23 +72,31 @@ struct BoxPipelineResult {
     std::vector<PolicyTickets> policies;
 };
 
+/// The policy set evaluated when a caller does not name one: the paper's
+/// ATM greedy alone. Shared by every pipeline entry point so the default
+/// is declared exactly once.
+const std::vector<resize::ResizePolicy>& default_policies();
+
 /// Runs the full ATM pipeline on one box: signature search + spatial model
 /// on the training window, temporal forecasts for signatures, spatial
 /// reconstruction for dependents, then VM resizing for the evaluation day
 /// under each of `policies`. Prediction-driven policies decide capacities
 /// from the *predicted* demands; tickets before/after are both counted on
 /// the *actual* evaluation-day demands.
+///
+/// Fleet-scale callers should prefer `run_pipeline_on_fleet` (core/fleet.hpp),
+/// which schedules this per box on a thread pool with per-box seeds.
 BoxPipelineResult run_pipeline_on_box(
     const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
-    const std::vector<resize::ResizePolicy>& policies = {
-        resize::ResizePolicy::kAtmGreedy});
+    const std::vector<resize::ResizePolicy>& policies = default_policies());
 
 /// Fig. 8 study: resizing with *perfect* demand knowledge — policies see
 /// the actual demands of evaluation day `day` (no prediction). Returns
 /// one PolicyTickets per policy.
 std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
     const trace::BoxTrace& box, int windows_per_day, int day, double alpha,
-    double epsilon_pct, const std::vector<resize::ResizePolicy>& policies,
+    double epsilon_pct,
+    const std::vector<resize::ResizePolicy>& policies = default_policies(),
     bool use_lower_bounds = true);
 
 }  // namespace atm::core

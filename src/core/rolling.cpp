@@ -52,8 +52,8 @@ RollingResult run_rolling_pipeline(const trace::BoxTrace& box,
             vm.ram_demand_gb = vm.ram_demand_gb.slice(first, count);
         }
 
-        const BoxPipelineResult day_result = run_pipeline_on_box(
-            window, windows_per_day, config, {resize::ResizePolicy::kAtmGreedy});
+        const BoxPipelineResult day_result =
+            run_pipeline_on_box(window, windows_per_day, config, default_policies());
 
         RollingDayResult r;
         r.day = day;

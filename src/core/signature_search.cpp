@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cluster/dtw.hpp"
+#include "exec/thread_pool.hpp"
 #include "linalg/ols.hpp"
 #include "timeseries/resource.hpp"
 
@@ -39,15 +40,28 @@ SignatureSearchResult find_signatures(
         result.initial_signatures = {0};
         result.num_clusters = 1;
     } else if (options.method == ClusteringMethod::kDtw) {
-        const auto dist = cluster::dtw_distance_matrix(series, options.dtw_band);
+        // The matrix is the expensive part; compute it on the pool (when
+        // given) and through the per-box memo (when given), so the
+        // cluster sweep and medoid pick below — and any later search on
+        // the same window — never recompute a pairwise distance.
+        std::vector<std::vector<double>> local;
+        const std::vector<std::vector<double>>* dist;
+        if (options.dtw_cache != nullptr) {
+            dist = &options.dtw_cache->matrix(series, options.dtw_band,
+                                              options.pool);
+        } else {
+            local = cluster::dtw_distance_matrix(series, options.dtw_band,
+                                                 options.pool);
+            dist = &local;
+        }
         // k in [2, n/2] per the paper ("we aim to reduce the original set to
         // at least its half"); n < 4 degenerates to k = 2.
         const int k_max = std::max(2, n / 2);
         const cluster::BestClustering best =
-            cluster::cluster_best_k(dist, 2, k_max, options.linkage);
+            cluster::cluster_best_k(*dist, 2, k_max, options.linkage);
         result.num_clusters = best.num_clusters;
         result.silhouette = best.silhouette;
-        result.initial_signatures = cluster::cluster_medoids(dist, best.labels);
+        result.initial_signatures = cluster::cluster_medoids(*dist, best.labels);
     } else {
         cluster::CbcOptions cbc_options;
         cbc_options.rho_threshold = options.rho_threshold;

@@ -5,6 +5,13 @@
 #include "cluster/cbc.hpp"
 #include "cluster/hierarchical.hpp"
 
+namespace atm::exec {
+class ThreadPool;
+}
+namespace atm::cluster {
+class DtwMatrixCache;
+}
+
 namespace atm::core {
 
 /// Step-1 clustering technique for the signature search (Section III-A).
@@ -34,6 +41,15 @@ struct SignatureSearchOptions {
     /// Sakoe–Chiba band for DTW; < 0 = unconstrained (paper recurrence).
     int dtw_band = -1;
     cluster::Linkage linkage = cluster::Linkage::kAverage;
+    /// Optional pool for the O(n²·len²) DTW distance matrix. Results are
+    /// identical with or without it; safe to point at the fleet pool (the
+    /// work-sharing loop tolerates nesting). Not owned.
+    exec::ThreadPool* pool = nullptr;
+    /// Optional per-box memo of DTW matrices, so repeated searches over
+    /// the same training window (two-step vs step-1-only, band sweeps)
+    /// reuse the matrix instead of recomputing it. Not owned; one cache
+    /// per series set.
+    cluster::DtwMatrixCache* dtw_cache = nullptr;
 };
 
 /// Result of the signature search over a box's series set.

@@ -1,0 +1,190 @@
+#include "exec/arg_parser.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace atm::exec {
+namespace {
+
+/// "value is not a valid <kind> for --name" diagnostic.
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* kind) {
+    throw ArgParseError("invalid " + std::string(kind) + " '" + value +
+                        "' for --" + name);
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string command, std::string summary)
+    : command_(std::move(command)), summary_(std::move(summary)) {}
+
+ArgParser& ArgParser::positional(const std::string& name, const std::string& help) {
+    positionals_.push_back({name, help, "", false, false});
+    return *this;
+}
+
+ArgParser& ArgParser::option(const std::string& name, const std::string& fallback,
+                             const std::string& help) {
+    options_.push_back({name, help, fallback, false, false});
+    return *this;
+}
+
+ArgParser& ArgParser::flag(const std::string& name, const std::string& help) {
+    options_.push_back({name, help, "false", true, false});
+    return *this;
+}
+
+ArgParser::Spec* ArgParser::find(const std::string& name) {
+    for (Spec& s : options_) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+const ArgParser::Spec& ArgParser::require(const std::string& name) const {
+    for (const Spec& s : positionals_) {
+        if (s.name == name) return s;
+    }
+    for (const Spec& s : options_) {
+        if (s.name == name) return s;
+    }
+    throw ArgParseError(command_ + ": undeclared argument '" + name + "'");
+}
+
+bool ArgParser::parse(int argc, char** argv, int first) {
+    std::size_t next_positional = 0;
+    for (int i = first; i < argc; ++i) {
+        const std::string token = argv[i];
+        if (token.rfind("--", 0) != 0) {
+            if (next_positional >= positionals_.size()) {
+                throw ArgParseError(command_ + ": unexpected argument '" + token +
+                                    "'");
+            }
+            positionals_[next_positional].value = token;
+            positionals_[next_positional].seen = true;
+            ++next_positional;
+            continue;
+        }
+        std::string name = token.substr(2);
+        std::string inline_value;
+        bool has_inline_value = false;
+        if (const std::size_t eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_inline_value = true;
+        }
+        if (name == "help") {
+            print_help(stdout);
+            return false;
+        }
+        Spec* spec = find(name);
+        if (spec == nullptr) {
+            throw ArgParseError(command_ + ": unknown flag '--" + name +
+                                "' (see --help)");
+        }
+        if (spec->is_flag) {
+            if (has_inline_value) {
+                if (inline_value != "true" && inline_value != "false") {
+                    bad_value(name, inline_value, "boolean");
+                }
+                spec->value = inline_value;
+            } else {
+                spec->value = "true";
+            }
+        } else if (has_inline_value) {
+            spec->value = inline_value;
+        } else {
+            if (i + 1 >= argc) {
+                throw ArgParseError(command_ + ": flag '--" + name +
+                                    "' expects a value");
+            }
+            spec->value = argv[++i];
+        }
+        spec->seen = true;
+    }
+    if (next_positional < positionals_.size()) {
+        throw ArgParseError(command_ + ": missing required argument <" +
+                            positionals_[next_positional].name + ">");
+    }
+    return true;
+}
+
+const std::string& ArgParser::get(const std::string& name) const {
+    return require(name).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+    return require(name).value == "true";
+}
+
+int ArgParser::get_int(const std::string& name) const {
+    const std::string& v = require(name).value;
+    try {
+        std::size_t consumed = 0;
+        const int parsed = std::stoi(v, &consumed);
+        if (consumed != v.size()) bad_value(name, v, "integer");
+        return parsed;
+    } catch (const ArgParseError&) {
+        throw;
+    } catch (const std::exception&) {
+        bad_value(name, v, "integer");
+    }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+    const std::string& v = require(name).value;
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(v, &consumed);
+        if (consumed != v.size()) bad_value(name, v, "number");
+        return parsed;
+    } catch (const ArgParseError&) {
+        throw;
+    } catch (const std::exception&) {
+        bad_value(name, v, "number");
+    }
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& name) const {
+    const std::string& v = require(name).value;
+    try {
+        std::size_t consumed = 0;
+        const unsigned long long parsed = std::stoull(v, &consumed);
+        if (consumed != v.size() || v.front() == '-') {
+            bad_value(name, v, "unsigned integer");
+        }
+        return parsed;
+    } catch (const ArgParseError&) {
+        throw;
+    } catch (const std::exception&) {
+        bad_value(name, v, "unsigned integer");
+    }
+}
+
+void ArgParser::print_help(std::FILE* out) const {
+    std::fprintf(out, "usage: %s", command_.c_str());
+    for (const Spec& p : positionals_) std::fprintf(out, " <%s>", p.name.c_str());
+    if (!options_.empty()) std::fprintf(out, " [options]");
+    std::fprintf(out, "\n\n%s\n", summary_.c_str());
+    if (!positionals_.empty()) {
+        std::fprintf(out, "\narguments:\n");
+        for (const Spec& p : positionals_) {
+            std::fprintf(out, "  %-22s %s\n", ("<" + p.name + ">").c_str(),
+                         p.help.c_str());
+        }
+    }
+    std::fprintf(out, "\noptions:\n");
+    for (const Spec& o : options_) {
+        std::string left = "--" + o.name;
+        if (!o.is_flag) left += " <value>";
+        if (o.is_flag) {
+            std::fprintf(out, "  %-22s %s\n", left.c_str(), o.help.c_str());
+        } else {
+            std::fprintf(out, "  %-22s %s (default: %s)\n", left.c_str(),
+                         o.help.c_str(), o.value.c_str());
+        }
+    }
+    std::fprintf(out, "  %-22s %s\n", "--help", "show this message");
+}
+
+}  // namespace atm::exec

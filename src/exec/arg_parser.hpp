@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace atm::exec {
+
+/// Thrown on malformed command lines: unknown flags, missing values,
+/// missing positionals, or values that fail numeric conversion. The `what`
+/// string is a full, user-ready diagnostic.
+class ArgParseError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Declarative command-line parser for one (sub)command.
+///
+/// Declare positionals, valued options, and boolean flags up front; then
+/// `parse()` accepts `--key value` and `--key=value` spellings, handles
+/// `--help` (prints generated usage, returns false), and *errors* on
+/// anything undeclared or malformed instead of skipping it silently.
+/// Typed getters (`get_int`, ...) validate the whole token, so
+/// `--boxes 12x` is a diagnostic, not a silent 12.
+class ArgParser {
+public:
+    /// `command` is the full invocation prefix shown in usage lines
+    /// (e.g. "atm generate"); `summary` is the one-line description.
+    ArgParser(std::string command, std::string summary);
+
+    /// Declares a required positional argument (filled in declaration
+    /// order by the non-flag tokens).
+    ArgParser& positional(const std::string& name, const std::string& help);
+    /// Declares a valued option with a default.
+    ArgParser& option(const std::string& name, const std::string& fallback,
+                      const std::string& help);
+    /// Declares a boolean flag (false unless present; `--name=false` also
+    /// accepted).
+    ArgParser& flag(const std::string& name, const std::string& help);
+
+    /// Parses argv[first..argc). Returns false when --help was handled
+    /// (usage printed to stdout; the caller should exit 0). Throws
+    /// ArgParseError on any malformed or undeclared input.
+    bool parse(int argc, char** argv, int first);
+
+    /// Value of a positional or option (post-parse; default if absent).
+    [[nodiscard]] const std::string& get(const std::string& name) const;
+    [[nodiscard]] bool get_flag(const std::string& name) const;
+    [[nodiscard]] int get_int(const std::string& name) const;
+    [[nodiscard]] double get_double(const std::string& name) const;
+    [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+
+    void print_help(std::FILE* out) const;
+
+private:
+    struct Spec {
+        std::string name;
+        std::string help;
+        std::string value;  // default, overwritten by parse
+        bool is_flag = false;
+        bool seen = false;
+    };
+
+    Spec* find(const std::string& name);
+    [[nodiscard]] const Spec& require(const std::string& name) const;
+
+    std::string command_;
+    std::string summary_;
+    std::vector<Spec> positionals_;
+    std::vector<Spec> options_;
+};
+
+}  // namespace atm::exec

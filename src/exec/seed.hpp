@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace atm::exec {
+
+/// One step of the splitmix64 output function (Steele et al., "Fast
+/// splittable pseudorandom number generators"): a bijective avalanche mix
+/// of the 64-bit state. Used to derive statistically independent child
+/// seeds from a base seed, so a fleet run can hand every box its own seed
+/// deterministically — independent of scheduling order or worker count.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Deterministic per-task seed: child `index` of `base`. Distinct indices
+/// give uncorrelated streams; the same (base, index) always gives the same
+/// seed, which is what makes parallel fleet runs bit-reproducible.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+    return splitmix64(splitmix64(base) ^ splitmix64(index + 0x632BE59BD9B4E019ull));
+}
+
+}  // namespace atm::exec

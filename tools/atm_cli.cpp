@@ -1,28 +1,28 @@
 // atm — command-line front end for the ATM library.
 //
 // Subcommands:
-//   atm generate <out.csv> [--boxes N] [--days D] [--seed S]
-//       synthesize a monitoring trace and write it as CSV
-//   atm characterize <trace.csv> [--threshold P]
-//       Section-II style report: ticket distribution, culprits, correlations
-//   atm predict <trace.csv> [--box NAME] [--method dtw|cbc] [--model M]
-//       signature search + next-day prediction accuracy per box
-//   atm resize <trace.csv> [--threshold P] [--epsilon E] [--policy P]
-//       next-day resizing from predicted demands; prints per-box tickets
-//   atm backtest <trace.csv> --box NAME --vm INDEX
-//       rolling-origin comparison of every temporal model on one series
+//   atm generate <out.csv>      synthesize a monitoring trace, write CSV
+//   atm characterize <trace.csv> Section-II report: tickets, culprits,
+//                                correlations
+//   atm predict <trace.csv>     fleet signature search + next-day accuracy
+//   atm resize <trace.csv>      fleet next-day resizing from predictions
+//   atm backtest <trace.csv>    temporal-model shoot-out on one series
 //
-// All subcommands accept CSVs in the schema of src/tracegen/trace_io.hpp,
+// Every subcommand supports --help, accepts both `--key value` and
+// `--key=value`, and rejects unknown or malformed flags with a
+// diagnostic. `predict` and `resize` run the fleet executor — `--jobs N`
+// selects the worker count (default: hardware concurrency).
+//
+// All subcommands read CSVs in the schema of src/tracegen/trace_io.hpp,
 // so real monitoring exports can be analyzed the same way as synthetic
 // traces.
 
 #include <cstdio>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "core/pipeline.hpp"
+#include "core/fleet.hpp"
+#include "exec/arg_parser.hpp"
 #include "forecast/backtest.hpp"
 #include "ticketing/characterization.hpp"
 #include "timeseries/stats.hpp"
@@ -33,49 +33,94 @@ namespace {
 
 using namespace atm;
 
-/// Minimal flag parser: --key value pairs after the positional arguments.
-std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
-    std::map<std::string, std::string> flags;
-    for (int i = first; i + 1 < argc; i += 2) {
-        if (std::strncmp(argv[i], "--", 2) != 0) {
-            throw std::runtime_error(std::string("expected flag, got ") + argv[i]);
-        }
-        flags[argv[i] + 2] = argv[i + 1];
-    }
-    return flags;
+/// Shared model/threshold flags of the prediction-driven subcommands.
+void add_pipeline_flags(exec::ArgParser& parser) {
+    parser.option("method", "cbc", "clustering method: dtw|cbc")
+        .option("model", "mlp",
+                "temporal model: mlp|ar|holt-winters|seasonal-naive|ensemble")
+        .option("threshold", "60", "ticket threshold in percent")
+        .option("epsilon", "5", "discretization factor, % of VM capacity")
+        .option("train-days", "5", "days of training history")
+        .option("jobs", "0", "worker threads; 0 = hardware concurrency")
+        .option("box", "", "evaluate only the box with this name")
+        .flag("include-gappy", "also evaluate boxes with monitoring gaps");
 }
 
-std::string flag_or(const std::map<std::string, std::string>& flags,
-                    const std::string& key, const std::string& fallback) {
-    const auto it = flags.find(key);
-    return it == flags.end() ? fallback : it->second;
+/// Builds the validated FleetConfig from parsed flags; throws
+/// ArgParseError on unknown enum values, std::invalid_argument on ranges.
+core::FleetConfig fleet_config_from_flags(const exec::ArgParser& parser) {
+    core::FleetConfig config;
+
+    const std::string method = parser.get("method");
+    if (method == "dtw") {
+        config.pipeline.search.method = core::ClusteringMethod::kDtw;
+    } else if (method == "cbc") {
+        config.pipeline.search.method = core::ClusteringMethod::kCbc;
+    } else {
+        throw exec::ArgParseError("unknown --method '" + method +
+                                  "' (expected dtw|cbc)");
+    }
+
+    const std::string model = parser.get("model");
+    if (model == "mlp") {
+        config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+    } else if (model == "ar") {
+        config.pipeline.temporal = forecast::TemporalModel::kAutoregressive;
+    } else if (model == "holt-winters") {
+        config.pipeline.temporal = forecast::TemporalModel::kHoltWinters;
+    } else if (model == "seasonal-naive") {
+        config.pipeline.temporal = forecast::TemporalModel::kSeasonalNaive;
+    } else if (model == "ensemble") {
+        config.pipeline.temporal = forecast::TemporalModel::kEnsemble;
+    } else {
+        throw exec::ArgParseError(
+            "unknown --model '" + model +
+            "' (expected mlp|ar|holt-winters|seasonal-naive|ensemble)");
+    }
+
+    config.pipeline.alpha = parser.get_double("threshold") / 100.0;
+    config.pipeline.epsilon_pct = parser.get_double("epsilon");
+    config.pipeline.train_days = parser.get_int("train-days");
+    config.jobs = parser.get_int("jobs");
+    config.skip_gappy_boxes = !parser.get_flag("include-gappy");
+    if (!parser.get("box").empty()) config.box_names = {parser.get("box")};
+
+    if (const std::string problems = config.validate(); !problems.empty()) {
+        throw exec::ArgParseError(problems);
+    }
+    return config;
 }
 
 int cmd_generate(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: atm generate <out.csv> [--boxes N] [--days D] [--seed S]\n");
-        return 2;
-    }
-    const auto flags = parse_flags(argc, argv, 3);
+    exec::ArgParser parser("atm generate",
+                           "synthesize a monitoring trace and write it as CSV");
+    parser.positional("out.csv", "output CSV path")
+        .option("boxes", "50", "number of physical boxes")
+        .option("days", "7", "trace length in days")
+        .option("seed", "20150403", "trace generator seed");
+    if (!parser.parse(argc, argv, 2)) return 0;
+
     trace::TraceGenOptions options;
-    options.num_boxes = std::stoi(flag_or(flags, "boxes", "50"));
-    options.num_days = std::stoi(flag_or(flags, "days", "7"));
-    options.seed = std::stoull(flag_or(flags, "seed", "20150403"));
+    options.num_boxes = parser.get_int("boxes");
+    options.num_days = parser.get_int("days");
+    options.seed = parser.get_u64("seed");
     const trace::Trace t = trace::generate_trace(options);
-    trace::write_trace_csv_file(argv[2], t);
+    trace::write_trace_csv_file(parser.get("out.csv").c_str(), t);
     std::printf("wrote %zu boxes / %zu VMs / %d days to %s\n", t.boxes.size(),
-                t.total_vms(), options.num_days, argv[2]);
+                t.total_vms(), options.num_days, parser.get("out.csv").c_str());
     return 0;
 }
 
 int cmd_characterize(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr, "usage: atm characterize <trace.csv> [--threshold P]\n");
-        return 2;
-    }
-    const auto flags = parse_flags(argc, argv, 3);
-    const double threshold = std::stod(flag_or(flags, "threshold", "60"));
-    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+    exec::ArgParser parser(
+        "atm characterize",
+        "Section-II style report: ticket distribution, culprits, correlations");
+    parser.positional("trace.csv", "input trace CSV")
+        .option("threshold", "60", "ticket threshold in percent");
+    if (!parser.parse(argc, argv, 2)) return 0;
+
+    const double threshold = parser.get_double("threshold");
+    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
     std::printf("trace: %zu boxes, %zu VMs\n\n", t.boxes.size(), t.total_vms());
 
     const auto c = ticketing::characterize_tickets(t, threshold);
@@ -96,118 +141,109 @@ int cmd_characterize(int argc, char** argv) {
     return 0;
 }
 
-core::PipelineConfig config_from_flags(
-    const std::map<std::string, std::string>& flags) {
-    core::PipelineConfig config;
-    const std::string method = flag_or(flags, "method", "cbc");
-    config.search.method = method == "dtw" ? core::ClusteringMethod::kDtw
-                                           : core::ClusteringMethod::kCbc;
-    const std::string model = flag_or(flags, "model", "mlp");
-    if (model == "mlp") {
-        config.temporal = forecast::TemporalModel::kNeuralNetwork;
-    } else if (model == "ar") {
-        config.temporal = forecast::TemporalModel::kAutoregressive;
-    } else if (model == "holt-winters") {
-        config.temporal = forecast::TemporalModel::kHoltWinters;
-    } else if (model == "seasonal-naive") {
-        config.temporal = forecast::TemporalModel::kSeasonalNaive;
-    } else if (model == "ensemble") {
-        config.temporal = forecast::TemporalModel::kEnsemble;
-    } else {
-        throw std::runtime_error("unknown --model " + model);
-    }
-    config.alpha = std::stod(flag_or(flags, "threshold", "60")) / 100.0;
-    config.epsilon_pct = std::stod(flag_or(flags, "epsilon", "5"));
-    config.train_days = std::stoi(flag_or(flags, "train-days", "5"));
-    return config;
-}
-
 int cmd_predict(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: atm predict <trace.csv> [--box NAME] [--method dtw|cbc] "
-                     "[--model mlp|ar|holt-winters|seasonal-naive|ensemble]\n");
-        return 2;
-    }
-    const auto flags = parse_flags(argc, argv, 3);
-    const core::PipelineConfig config = config_from_flags(flags);
-    const std::string only_box = flag_or(flags, "box", "");
-    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+    exec::ArgParser parser(
+        "atm predict",
+        "fleet signature search + next-day prediction accuracy per box");
+    parser.positional("trace.csv", "input trace CSV");
+    add_pipeline_flags(parser);
+    if (!parser.parse(argc, argv, 2)) return 0;
+
+    core::FleetConfig config = fleet_config_from_flags(parser);
+    config.policies.clear();  // prediction only, no resizing
+    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
 
     std::printf("%-12s %10s %10s %12s %10s\n", "box", "series", "signatures",
                 "APE all(%)", "peak(%)");
-    std::vector<double> apes;
-    for (const trace::BoxTrace& box : t.boxes) {
-        if (!only_box.empty() && box.name != only_box) continue;
-        if (box.has_gaps) continue;
-        const auto result = core::run_pipeline_on_box(box, t.windows_per_day,
-                                                      config, {});
-        apes.push_back(100.0 * result.ape_all);
-        std::printf("%-12s %10zu %10zu %12.1f %10.1f\n", box.name.c_str(),
-                    box.vms.size() * 2, result.search.signatures.size(),
-                    100.0 * result.ape_all, 100.0 * result.ape_peak);
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        if (!b.error.empty()) {
+            std::printf("%-12s failed: %s\n", b.box_name.c_str(), b.error.c_str());
+            continue;
+        }
+        const auto& box = t.boxes[static_cast<std::size_t>(b.box_index)];
+        std::printf("%-12s %10zu %10zu %12.1f %10.1f\n", b.box_name.c_str(),
+                    box.vms.size() * 2, b.result.search.signatures.size(),
+                    100.0 * b.result.ape_all, 100.0 * b.result.ape_peak);
     }
-    if (!apes.empty()) {
-        std::printf("\nmean APE over %zu gap-free boxes: %.1f%%\n", apes.size(),
-                    ts::mean(apes));
+    if (fleet.boxes_evaluated() > 0) {
+        std::printf("\nmean APE over %zu boxes: %.1f%% (peak %.1f%%)\n",
+                    fleet.boxes_evaluated(), 100.0 * fleet.mean_ape_all,
+                    100.0 * fleet.mean_ape_peak);
     }
+    std::printf("%zu skipped, %zu failed; %d jobs, %.2fs wall\n",
+                fleet.boxes_skipped, fleet.boxes_failed, fleet.jobs,
+                fleet.wall_seconds);
     return 0;
 }
 
 int cmd_resize(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: atm resize <trace.csv> [--threshold P] [--epsilon E] "
-                     "[--policy atm|max-min|stingy] [--model M]\n");
-        return 2;
-    }
-    const auto flags = parse_flags(argc, argv, 3);
-    const core::PipelineConfig config = config_from_flags(flags);
-    const std::string policy_name = flag_or(flags, "policy", "atm");
-    resize::ResizePolicy policy = resize::ResizePolicy::kAtmGreedy;
-    if (policy_name == "max-min") {
-        policy = resize::ResizePolicy::kMaxMinFairness;
-    } else if (policy_name == "stingy") {
-        policy = resize::ResizePolicy::kStingy;
-    } else if (policy_name != "atm") {
-        throw std::runtime_error("unknown --policy " + policy_name);
-    }
-    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+    exec::ArgParser parser(
+        "atm resize",
+        "fleet next-day resizing from predicted demands; prints per-box tickets");
+    parser.positional("trace.csv", "input trace CSV");
+    add_pipeline_flags(parser);
+    parser.option("policy", "atm", "resize policy: atm|max-min|stingy");
+    if (!parser.parse(argc, argv, 2)) return 0;
 
-    long before = 0;
-    long after = 0;
-    std::printf("%-12s %14s %14s\n", "box", "CPU tickets", "RAM tickets");
-    for (const trace::BoxTrace& box : t.boxes) {
-        if (box.has_gaps) continue;
-        const auto result =
-            core::run_pipeline_on_box(box, t.windows_per_day, config, {policy});
-        const auto& p = result.policies[0];
-        std::printf("%-12s %6d -> %-6d %6d -> %-6d\n", box.name.c_str(),
-                    p.cpu_before, p.cpu_after, p.ram_before, p.ram_after);
-        before += p.cpu_before + p.ram_before;
-        after += p.cpu_after + p.ram_after;
+    core::FleetConfig config = fleet_config_from_flags(parser);
+    const std::string policy_name = parser.get("policy");
+    if (policy_name == "atm") {
+        config.policies = {resize::ResizePolicy::kAtmGreedy};
+    } else if (policy_name == "max-min") {
+        config.policies = {resize::ResizePolicy::kMaxMinFairness};
+    } else if (policy_name == "stingy") {
+        config.policies = {resize::ResizePolicy::kStingy};
+    } else {
+        throw exec::ArgParseError("unknown --policy '" + policy_name +
+                                  "' (expected atm|max-min|stingy)");
     }
-    std::printf("\ntotal: %ld -> %ld tickets (%.1f%% reduction, policy %s)\n",
+    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    std::printf("%-12s %14s %14s\n", "box", "CPU tickets", "RAM tickets");
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        if (!b.error.empty()) {
+            std::printf("%-12s failed: %s\n", b.box_name.c_str(), b.error.c_str());
+            continue;
+        }
+        const auto& p = b.result.policies[0];
+        std::printf("%-12s %6d -> %-6d %6d -> %-6d\n", b.box_name.c_str(),
+                    p.cpu_before, p.cpu_after, p.ram_before, p.ram_after);
+    }
+    const core::PolicyTickets& total = fleet.totals[0];
+    const long before = total.cpu_before + total.ram_before;
+    const long after = total.cpu_after + total.ram_after;
+    std::printf("\ntotal: %ld -> %ld tickets (%.1f%% reduction, policy %s, "
+                "%d jobs, %.2fs wall)\n",
                 before, after,
                 before > 0 ? 100.0 * static_cast<double>(before - after) /
                                  static_cast<double>(before)
                            : 0.0,
-                policy_name.c_str());
+                policy_name.c_str(), fleet.jobs, fleet.wall_seconds);
     return 0;
 }
 
 int cmd_backtest(int argc, char** argv) {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: atm backtest <trace.csv> --box NAME --vm INDEX "
-                     "[--resource cpu|ram]\n");
-        return 2;
+    exec::ArgParser parser(
+        "atm backtest",
+        "rolling-origin comparison of every temporal model on one series");
+    parser.positional("trace.csv", "input trace CSV")
+        .option("box", "", "box name (default: first box)")
+        .option("vm", "0", "VM index within the box")
+        .option("resource", "cpu", "series to backtest: cpu|ram");
+    if (!parser.parse(argc, argv, 2)) return 0;
+
+    const std::string box_name = parser.get("box");
+    const int vm_index = parser.get_int("vm");
+    const std::string resource = parser.get("resource");
+    if (resource != "cpu" && resource != "ram") {
+        throw exec::ArgParseError("unknown --resource '" + resource +
+                                  "' (expected cpu|ram)");
     }
-    const auto flags = parse_flags(argc, argv, 3);
-    const std::string box_name = flag_or(flags, "box", "");
-    const int vm_index = std::stoi(flag_or(flags, "vm", "0"));
-    const bool ram = flag_or(flags, "resource", "cpu") == "ram";
-    const trace::Trace t = trace::read_trace_csv_file(argv[2]);
+    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
 
     const trace::BoxTrace* box = nullptr;
     for (const trace::BoxTrace& b : t.boxes) {
@@ -221,7 +257,8 @@ int cmd_backtest(int argc, char** argv) {
         std::fprintf(stderr, "atm backtest: box/vm not found\n");
         return 2;
     }
-    const auto& series = ram ? box->vms[static_cast<std::size_t>(vm_index)].ram_demand_gb
+    const auto& series = resource == "ram"
+                             ? box->vms[static_cast<std::size_t>(vm_index)].ram_demand_gb
                              : box->vms[static_cast<std::size_t>(vm_index)].cpu_demand_ghz;
     std::printf("backtesting %s (%zu samples)\n\n", series.name().c_str(),
                 series.size());
@@ -241,14 +278,24 @@ int cmd_backtest(int argc, char** argv) {
     return 0;
 }
 
+void print_usage(std::FILE* out) {
+    std::fprintf(out,
+                 "atm — Active Ticket Managing (DSN'16 reproduction)\n"
+                 "usage: atm <subcommand> [args] [--help]\n\n"
+                 "subcommands:\n"
+                 "  generate      synthesize a monitoring trace as CSV\n"
+                 "  characterize  ticket/correlation report over a trace\n"
+                 "  predict       fleet next-day prediction accuracy (--jobs N)\n"
+                 "  resize        fleet prediction-driven resizing (--jobs N)\n"
+                 "  backtest      temporal-model comparison on one series\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "atm — Active Ticket Managing (DSN'16 reproduction)\n"
-                     "subcommands: generate, characterize, predict, resize, backtest\n");
-        return 2;
+    if (argc < 2 || std::string(argv[1]) == "--help") {
+        print_usage(argc < 2 ? stderr : stdout);
+        return argc < 2 ? 2 : 0;
     }
     try {
         const std::string cmd = argv[1];
@@ -258,6 +305,10 @@ int main(int argc, char** argv) {
         if (cmd == "resize") return cmd_resize(argc, argv);
         if (cmd == "backtest") return cmd_backtest(argc, argv);
         std::fprintf(stderr, "atm: unknown subcommand '%s'\n", cmd.c_str());
+        print_usage(stderr);
+        return 2;
+    } catch (const atm::exec::ArgParseError& e) {
+        std::fprintf(stderr, "atm: %s\n", e.what());
         return 2;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "atm: %s\n", e.what());
