@@ -4,12 +4,14 @@
 // scale knobs via environment variables (ATM_BOXES, ATM_SEED, ...) so a
 // paper-scale run (6000 boxes) is one env var away from the fast default.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "timeseries/cdf.hpp"
 #include "timeseries/stats.hpp"
 
@@ -52,6 +54,42 @@ inline void print_cdf(const std::string& label, std::span<const double> values,
     for (const auto& p : cdf.grid(points)) {
         std::printf("  x=%8.3f  F=%.3f\n", p.x, p.f);
     }
+}
+
+/// Prints the per-stage timer breakdown of a metrics snapshot (every
+/// timer named `stage.*`), sorted by total time, plus the headline work
+/// counters. Feed it FleetResult::metrics from a collect_metrics run.
+inline void print_stage_breakdown(const obs::MetricsSnapshot& metrics) {
+    std::vector<std::pair<std::string, obs::TimerStat>> stages;
+    double total = 0.0;
+    for (const auto& [name, stat] : metrics.timers) {
+        if (name.rfind("stage.", 0) != 0) continue;
+        stages.emplace_back(name, stat);
+        total += stat.total_seconds();
+    }
+    if (stages.empty()) {
+        std::printf("(no stage metrics collected)\n");
+        return;
+    }
+    std::sort(stages.begin(), stages.end(), [](const auto& a, const auto& b) {
+        return a.second.total_ns > b.second.total_ns;
+    });
+    std::printf("stage breakdown (CPU-side wall per stage, all boxes):\n");
+    for (const auto& [name, stat] : stages) {
+        std::printf("  %-20s %8.3fs %5.1f%%  (n=%llu)\n", name.c_str() + 6,
+                    stat.total_seconds(),
+                    total > 0.0 ? 100.0 * stat.total_seconds() / total : 0.0,
+                    static_cast<unsigned long long>(stat.count));
+    }
+    const auto counter = [&metrics](const char* name) {
+        return static_cast<unsigned long long>(metrics.counter(name));
+    };
+    std::printf("  dtw cells=%llu (cache hit/miss %llu/%llu)  "
+                "vif iters=%llu  mlp epochs=%llu  mckp iters=%llu\n",
+                counter("cluster.dtw.cells"), counter("cluster.dtw.cache_hits"),
+                counter("cluster.dtw.cache_misses"),
+                counter("linalg.vif.iterations"), counter("forecast.mlp.epochs"),
+                counter("resize.mckp.greedy_iterations"));
 }
 
 }  // namespace atm::bench

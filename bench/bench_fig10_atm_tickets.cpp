@@ -57,6 +57,7 @@ int main() {
             resize::ResizePolicy::kStingy,
             resize::ResizePolicy::kMaxMinFairness,
         };
+        config.collect_metrics = true;
 
         const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
         evaluated = fleet.boxes_evaluated();
@@ -70,6 +71,7 @@ int main() {
         }
         std::printf("%s: %zu boxes, %d jobs, %.2fs wall\n", row_names[m],
                     fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
+        bench::print_stage_breakdown(fleet.metrics);
     }
     std::printf("evaluated %zu gap-free boxes\n\n", evaluated);
 

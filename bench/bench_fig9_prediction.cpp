@@ -44,6 +44,7 @@ int main() {
         config.jobs = bench::env_int("ATM_JOBS", 0);
         config.max_boxes = options.num_boxes;
         config.policies.clear();  // accuracy study: no resizing
+        config.collect_metrics = true;
 
         const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
         evaluated = fleet.boxes_evaluated();
@@ -56,6 +57,7 @@ int main() {
         }
         std::printf("%s: %zu boxes, %d jobs, %.2fs wall\n", names[m],
                     fleet.boxes_evaluated(), fleet.jobs, fleet.wall_seconds);
+        bench::print_stage_breakdown(fleet.metrics);
     }
     std::printf("evaluated %zu gap-free boxes\n\n", evaluated);
 

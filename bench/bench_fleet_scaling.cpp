@@ -33,6 +33,7 @@ int main() {
     config.pipeline.search.method = core::ClusteringMethod::kDtw;
     config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
     config.pipeline.train_days = 5;
+    config.collect_metrics = true;
 
     const unsigned hw = std::thread::hardware_concurrency();
     const int max_jobs = bench::env_int("ATM_MAX_JOBS",
@@ -74,5 +75,8 @@ int main() {
                     serial_wall > 0.0 ? serial_wall / fleet.wall_seconds : 1.0,
                     jobs == 1 ? "(reference)" : (identical ? "yes" : "NO"));
     }
+
+    std::printf("\n");
+    bench::print_stage_breakdown(reference.metrics);
     return 0;
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace atm::cluster {
 
@@ -92,19 +93,44 @@ DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q) {
     return out;
 }
 
+std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band) {
+    if (n == 0 || m == 0) return 0;
+    if (band < 0) return static_cast<std::uint64_t>(n) * m;
+    const double slope =
+        n > 1 ? static_cast<double>(m) / static_cast<double>(n) : 1.0;
+    std::uint64_t total = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        const double center = slope * static_cast<double>(i);
+        const auto lo = static_cast<long long>(std::floor(center)) - band;
+        const auto hi = static_cast<long long>(std::ceil(center)) + band;
+        const auto j_lo = std::max(1LL, lo);
+        const auto j_hi = std::min(static_cast<long long>(m), hi);
+        if (j_hi >= j_lo) total += static_cast<std::uint64_t>(j_hi - j_lo + 1);
+    }
+    return total;
+}
+
 std::vector<std::vector<double>> dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band,
-    exec::ThreadPool* pool) {
+    exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
     const std::size_t n = series.size();
     std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
     // One task per upper-triangle row; each writes only cells (i, j>i) and
     // their mirror (j, i), which no other row touches, so the parallel and
-    // serial fills are bit-identical.
+    // serial fills are bit-identical. Metric writes from row tasks are
+    // integer counters only: their merge is exact regardless of which
+    // worker thread (and thus registry shard) a row lands on.
     exec::parallel_for_each(pool, n, [&](std::size_t i) {
+        std::uint64_t cells = 0;
         for (std::size_t j = i + 1; j < n; ++j) {
             const double d = dtw_distance(series[i], series[j], band);
             dist[i][j] = d;
             dist[j][i] = d;
+            cells += dtw_cell_count(series[i].size(), series[j].size(), band);
+        }
+        if (metrics != nullptr && i + 1 < n) {
+            metrics->add("cluster.dtw.pairs", n - i - 1);
+            metrics->add("cluster.dtw.cells", cells);
         }
     });
     return dist;
@@ -112,7 +138,7 @@ std::vector<std::vector<double>> dtw_distance_matrix(
 
 const std::vector<std::vector<double>>& DtwMatrixCache::matrix(
     const std::vector<std::vector<double>>& series, int band,
-    exec::ThreadPool* pool) {
+    exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
     if (series_count_ == 0) {
         series_count_ = series.size();
     } else if (series_count_ != series.size()) {
@@ -121,8 +147,13 @@ const std::vector<std::vector<double>>& DtwMatrixCache::matrix(
             "series set (call clear() between boxes)");
     }
     const auto it = by_band_.find(band);
-    if (it != by_band_.end()) return it->second;
-    return by_band_.emplace(band, dtw_distance_matrix(series, band, pool))
+    if (it != by_band_.end()) {
+        if (metrics != nullptr) metrics->add("cluster.dtw.cache_hits");
+        return it->second;
+    }
+    if (metrics != nullptr) metrics->add("cluster.dtw.cache_misses");
+    return by_band_
+        .emplace(band, dtw_distance_matrix(series, band, pool, metrics))
         .first->second;
 }
 

@@ -1,11 +1,15 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <span>
 #include <vector>
 
 namespace atm::exec {
 class ThreadPool;
+}
+namespace atm::obs {
+class MetricsRegistry;
 }
 
 namespace atm::cluster {
@@ -26,14 +30,23 @@ namespace atm::cluster {
 double dtw_distance(std::span<const double> p, std::span<const double> q,
                     int band = -1);
 
+/// Number of DP cells `dtw_distance` evaluates for series lengths (n, m)
+/// at the given band — the unit of DTW work the metrics report counts.
+/// Mirrors the banded loop bounds exactly, so instrumented cell counters
+/// are exact, deterministic, and O(n) to compute (vs O(n·m) to run).
+std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band = -1);
+
 /// Pairwise DTW distance matrix over a set of series. Symmetric with a
 /// zero diagonal; only the upper triangle is computed. O(n² · len²) — the
 /// dominant cost of the DTW signature search. When `pool` is non-null the
 /// triangle's rows are computed on the pool (each (i, j) cell is
-/// independent, so the result is identical for any worker count).
+/// independent, so the result is identical for any worker count). When
+/// `metrics` is non-null each row task records `cluster.dtw.pairs` and
+/// `cluster.dtw.cells` counters (from its worker thread — counters only,
+/// per the obs determinism convention).
 std::vector<std::vector<double>> dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band = -1,
-    exec::ThreadPool* pool = nullptr);
+    exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
 /// Memoizes DTW distance matrices per (series set, band).
 ///
@@ -48,10 +61,17 @@ class DtwMatrixCache {
 public:
     /// Returns the (possibly cached) matrix for `series` at `band`.
     /// Throws std::invalid_argument if `series` has a different cardinality
-    /// than the set the cache was first used with.
+    /// than the set the cache was first used with. When `metrics` is
+    /// non-null, records a `cluster.dtw.cache_hits` / `cache_misses`
+    /// counter (and forwards `metrics` into the matrix computation).
     const std::vector<std::vector<double>>& matrix(
         const std::vector<std::vector<double>>& series, int band = -1,
-        exec::ThreadPool* pool = nullptr);
+        exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
+
+    /// True when the matrix for `band` is already memoized.
+    [[nodiscard]] bool has(int band) const {
+        return by_band_.find(band) != by_band_.end();
+    }
 
     /// Drops all memoized matrices (e.g. when moving to the next box).
     void clear();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -117,6 +118,12 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     });
 
     aggregate(config, fleet);
+    if (config.collect_metrics) {
+        // Trace order, so the fleet merge is independent of scheduling.
+        for (const FleetBoxResult& b : fleet.boxes) {
+            if (b.error.empty()) fleet.metrics.merge(b.result.metrics);
+        }
+    }
     fleet.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -164,6 +171,13 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
             cluster::DtwMatrixCache dtw_cache;
             box_config.search.pool = pool;
             box_config.search.dtw_cache = &dtw_cache;
+            // One registry per box: pool workers touching this box's DTW
+            // rows write counters here, never into another box's registry.
+            std::optional<obs::MetricsRegistry> registry;
+            if (config.collect_metrics) {
+                registry.emplace();
+                box_config.metrics = &*registry;
+            }
             out = run_pipeline_on_box(
                 trace.boxes[static_cast<std::size_t>(box_index)],
                 trace.windows_per_day, box_config, config.policies);
@@ -175,11 +189,16 @@ FleetResult evaluate_resize_on_fleet(const trace::Trace& trace, int day,
     return run_fleet(trace, config,
                      [&trace, &config, day](int box_index, exec::ThreadPool*,
                                             BoxPipelineResult& out) {
+                         std::optional<obs::MetricsRegistry> registry;
+                         if (config.collect_metrics) registry.emplace();
+                         obs::MetricsRegistry* metrics =
+                             registry ? &*registry : nullptr;
                          out.policies = evaluate_resize_policies_on_actuals(
                              trace.boxes[static_cast<std::size_t>(box_index)],
                              trace.windows_per_day, day, config.pipeline.alpha,
                              config.pipeline.epsilon_pct, config.policies,
-                             config.pipeline.use_lower_bounds);
+                             config.pipeline.use_lower_bounds, metrics);
+                         if (metrics != nullptr) out.metrics = metrics->snapshot();
                      });
 }
 

@@ -35,6 +35,14 @@ struct FleetConfig {
     /// as in the Fig. 9 accuracy study.
     std::vector<resize::ResizePolicy> policies = default_policies();
 
+    /// Collect stage metrics: each box gets its own MetricsRegistry (so
+    /// attribution is exact under the pool), its snapshot lands in
+    /// BoxPipelineResult::metrics, and the per-box snapshots are merged —
+    /// in trace order, so counter sums are identical for every `jobs`
+    /// value — into FleetResult::metrics. Off by default: the pipeline
+    /// then runs with a null registry at near-zero overhead.
+    bool collect_metrics = false;
+
     /// Empty string when the configuration is usable; otherwise a
     /// human-readable description of every out-of-range value.
     [[nodiscard]] std::string validate() const;
@@ -73,6 +81,12 @@ struct FleetResult {
     /// "Peak" of Fig. 9; peak mean skips boxes without peak windows).
     double mean_ape_all = 0.0;
     double mean_ape_peak = 0.0;
+
+    /// Merge of every evaluated box's metrics snapshot (trace order);
+    /// empty unless FleetConfig::collect_metrics was set. Counters and
+    /// histogram counts are deterministic across job counts; timer values
+    /// are wall-clock measurements and are not.
+    obs::MetricsSnapshot metrics;
 
     /// Wall-clock duration of the run (scheduling + compute).
     double wall_seconds = 0.0;

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "core/fleet.hpp"
+#include "obs/json.hpp"
+
+namespace atm::core {
+
+/// Schema identifier stamped into every metrics report; bump on any
+/// backwards-incompatible change to the report layout.
+inline constexpr const char* kMetricsReportSchema = "atm.metrics.v1";
+
+/// Builds the stable JSON metrics report for a fleet run:
+///
+///   {
+///     "schema": "atm.metrics.v1",
+///     "command": "<CLI subcommand or driver name>",
+///     "jobs": <workers used>,
+///     "wall_seconds": <fleet wall time>,
+///     "boxes_in_trace": N, "boxes_skipped": N, "boxes_failed": N,
+///     "fleet": { counters/gauges/timers/histograms },   // merged
+///     "boxes": [ {"name": .., "index": .., "metrics": {..}}
+///                | {"name": .., "index": .., "error": ".."} ]
+///   }
+///
+/// `fleet` is the merge of every evaluated box's snapshot plus anything
+/// recorded in `extra` (e.g. the CLI's trace-load timer). Boxes appear in
+/// trace order; failed boxes carry `error` and no `metrics` key.
+obs::json::Value build_metrics_report(const FleetResult& fleet,
+                                      const std::string& command,
+                                      const obs::MetricsSnapshot& extra = {});
+
+/// Serializes `build_metrics_report` and writes it to `path` (2-space
+/// indent, trailing newline). Throws std::runtime_error when the file
+/// cannot be opened or written.
+void write_metrics_report_file(const std::string& path,
+                               const FleetResult& fleet,
+                               const std::string& command,
+                               const obs::MetricsSnapshot& extra = {});
+
+}  // namespace atm::core

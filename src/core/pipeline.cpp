@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "timeseries/stats.hpp"
 
@@ -24,7 +25,7 @@ void run_policies_for_kind(
     const std::vector<std::vector<double>>& actual_demands,
     const std::vector<double>& lower_bounds, double alpha, double epsilon_pct,
     const std::vector<resize::ResizePolicy>& policies,
-    std::vector<PolicyTickets>& results) {
+    std::vector<PolicyTickets>& results, obs::MetricsRegistry* metrics) {
     const std::size_t m = box.vms.size();
 
     resize::ResizeInput input;
@@ -32,6 +33,7 @@ void run_policies_for_kind(
     input.total_capacity = box.capacity(kind);
     input.alpha = alpha;
     input.lower_bounds = lower_bounds;
+    input.metrics = metrics;
     input.current_capacities.resize(m);
     for (std::size_t i = 0; i < m; ++i) {
         input.current_capacities[i] = box.vms[i].capacity(kind);
@@ -51,7 +53,10 @@ void run_policies_for_kind(
     }
 
     for (std::size_t p = 0; p < policies.size(); ++p) {
+        obs::ScopedTimer policy_timer(
+            metrics, "resize.policy." + resize::to_string(policies[p]));
         const resize::ResizeResult r = resize::apply_policy(policies[p], input);
+        policy_timer.stop();
         const int after =
             resize::tickets_for_allocation(actual_demands, r.capacities, alpha);
         if (kind == ts::ResourceKind::kCpu) {
@@ -94,24 +99,43 @@ BoxPipelineResult run_pipeline_on_box(
     }
 
     BoxPipelineResult result;
+    obs::MetricsRegistry* metrics = config.metrics;
 
     // --- signature search + spatial model on the training window -----------
-    result.search = find_signatures(scoped_train, config.search);
+    {
+        obs::ScopedTimer timer(metrics, "stage.search");
+        SignatureSearchOptions search = config.search;
+        search.metrics = metrics;
+        result.search = find_signatures(scoped_train, search);
+    }
     SpatialModel spatial;
-    spatial.fit(scoped_train, result.search.signatures);
+    {
+        obs::ScopedTimer timer(metrics, "stage.spatial_fit");
+        spatial.fit(scoped_train, result.search.signatures);
+    }
 
     // --- temporal forecasts for the signature series -------------------------
     std::vector<std::vector<double>> signature_forecasts;
     signature_forecasts.reserve(spatial.signature_indices().size());
-    for (int s : spatial.signature_indices()) {
-        auto forecaster = forecast::make_forecaster(
-            config.temporal, windows_per_day,
-            config.seed + static_cast<unsigned>(s));
-        forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);
-        signature_forecasts.push_back(forecaster->forecast(windows_per_day));
+    {
+        obs::ScopedTimer timer(metrics, "stage.forecast");
+        const std::string model_name = forecast::to_string(config.temporal);
+        for (int s : spatial.signature_indices()) {
+            auto forecaster = forecast::make_forecaster(
+                config.temporal, windows_per_day,
+                config.seed + static_cast<unsigned>(s), metrics);
+            {
+                obs::ScopedTimer fit_timer(metrics, "forecast.fit." + model_name);
+                forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);
+            }
+            obs::ScopedTimer predict_timer(metrics,
+                                           "forecast.predict." + model_name);
+            signature_forecasts.push_back(forecaster->forecast(windows_per_day));
+        }
     }
 
     // --- spatial reconstruction of every scoped series -----------------------
+    obs::ScopedTimer reconstruct_timer(metrics, "stage.reconstruct");
     const std::vector<std::vector<double>> scoped_pred =
         spatial.reconstruct(signature_forecasts);
 
@@ -120,8 +144,10 @@ BoxPipelineResult run_pipeline_on_box(
     for (std::size_t k = 0; k < scope.size(); ++k) {
         result.predicted_demands[static_cast<std::size_t>(scope[k])] = scoped_pred[k];
     }
+    reconstruct_timer.stop();
 
     // --- prediction accuracy on the evaluation day ---------------------------
+    obs::ScopedTimer accuracy_timer(metrics, "stage.accuracy");
     double ape_sum = 0.0;
     std::size_t ape_count = 0;
     double peak_sum = 0.0;
@@ -146,20 +172,27 @@ BoxPipelineResult run_pipeline_on_box(
             }
         }
         if (series_n > 0) {
-            ape_sum += series_sum / static_cast<double>(series_n);
+            const double series_ape = series_sum / static_cast<double>(series_n);
+            ape_sum += series_ape;
             ++ape_count;
+            if (metrics != nullptr) metrics->observe("predict.ape", series_ape);
         }
     }
     result.ape_all = ape_count > 0 ? ape_sum / static_cast<double>(ape_count) : 0.0;
     result.ape_peak = peak_count > 0 ? peak_sum / static_cast<double>(peak_count) : 0.0;
+    accuracy_timer.stop();
 
     // --- resizing for the evaluation day -------------------------------------
-    if (policies.empty()) return result;
+    if (policies.empty()) {
+        if (metrics != nullptr) result.metrics = metrics->snapshot();
+        return result;
+    }
     result.policies.resize(policies.size());
     for (std::size_t p = 0; p < policies.size(); ++p) {
         result.policies[p].policy = policies[p];
     }
 
+    obs::ScopedTimer resize_timer(metrics, "stage.resize");
     const std::size_t m = box.vms.size();
     for (ts::ResourceKind kind : {ts::ResourceKind::kCpu, ts::ResourceKind::kRam}) {
         // Skip resources excluded from the model scope.
@@ -194,15 +227,17 @@ BoxPipelineResult run_pipeline_on_box(
         }
         run_policies_for_kind(box, kind, policy_demands, actual_eval, lower_bounds,
                               config.alpha, config.epsilon_pct, policies,
-                              result.policies);
+                              result.policies, metrics);
     }
+    resize_timer.stop();
+    if (metrics != nullptr) result.metrics = metrics->snapshot();
     return result;
 }
 
 std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
     const trace::BoxTrace& box, int windows_per_day, int day, double alpha,
     double epsilon_pct, const std::vector<resize::ResizePolicy>& policies,
-    bool use_lower_bounds) {
+    bool use_lower_bounds, obs::MetricsRegistry* metrics) {
     if (box.vms.empty()) {
         throw std::invalid_argument("evaluate_resize_policies_on_actuals: empty box");
     }
@@ -239,7 +274,7 @@ std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
             }
         }
         run_policies_for_kind(box, kind, day_demands, day_demands, lower_bounds,
-                              alpha, epsilon_pct, policies, results);
+                              alpha, epsilon_pct, policies, results, metrics);
     }
     return results;
 }

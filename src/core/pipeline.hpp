@@ -5,6 +5,7 @@
 #include "core/signature_search.hpp"
 #include "core/spatial_model.hpp"
 #include "forecast/forecaster.hpp"
+#include "obs/metrics.hpp"
 #include "resize/policies.hpp"
 #include "ticketing/tickets.hpp"
 #include "tracegen/trace.hpp"
@@ -33,6 +34,15 @@ struct PipelineConfig {
     /// Restrict the model to a resource subset (Fig. 7 ablation).
     ResourceScope scope = ResourceScope::kInter;
     unsigned seed = 42;
+    /// Optional stage-metrics sink (not owned). When set, the pipeline
+    /// records per-stage timers (`stage.search`, `stage.spatial_fit`,
+    /// `stage.forecast`, `stage.reconstruct`, `stage.accuracy`,
+    /// `stage.resize`), per-model fit/predict timers, the `predict.ape`
+    /// histogram and all sub-stage counters, and the final snapshot is
+    /// copied into BoxPipelineResult::metrics. Also forwarded into the
+    /// signature search (overriding `search.metrics` for the run). Null
+    /// disables all instrumentation at near-zero cost.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Ticket outcome of one policy on one box for one resource.
@@ -70,6 +80,9 @@ struct BoxPipelineResult {
     std::vector<std::vector<double>> predicted_demands;
     /// One entry per evaluated policy.
     std::vector<PolicyTickets> policies;
+    /// Snapshot of PipelineConfig::metrics taken when the pipeline ends;
+    /// empty when no registry was attached.
+    obs::MetricsSnapshot metrics;
 };
 
 /// The policy set evaluated when a caller does not name one: the paper's
@@ -97,6 +110,6 @@ std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
     const trace::BoxTrace& box, int windows_per_day, int day, double alpha,
     double epsilon_pct,
     const std::vector<resize::ResizePolicy>& policies = default_policies(),
-    bool use_lower_bounds = true);
+    bool use_lower_bounds = true, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace atm::core

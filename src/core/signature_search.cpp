@@ -1,11 +1,13 @@
 #include "core/signature_search.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "cluster/dtw.hpp"
 #include "exec/thread_pool.hpp"
 #include "linalg/ols.hpp"
+#include "obs/metrics.hpp"
 #include "timeseries/resource.hpp"
 
 namespace atm::core {
@@ -34,6 +36,19 @@ SignatureSearchResult find_signatures(
     const int n = static_cast<int>(series.size());
 
     SignatureSearchResult result;
+    obs::MetricsRegistry* metrics = options.metrics;
+    // Both returns below funnel through here so the counters always
+    // describe the *final* signature set.
+    const auto record = [&]() {
+        if (metrics == nullptr) return;
+        metrics->add("search.series", static_cast<std::uint64_t>(n));
+        metrics->add("search.clusters",
+                     static_cast<std::uint64_t>(result.num_clusters));
+        metrics->add("search.initial_signatures",
+                     result.initial_signatures.size());
+        metrics->add("search.final_signatures", result.signatures.size());
+        metrics->set_gauge("search.silhouette", result.silhouette);
+    };
 
     // ---- Step 1: time-series clustering -------------------------------------
     if (n == 1) {
@@ -48,10 +63,10 @@ SignatureSearchResult find_signatures(
         const std::vector<std::vector<double>>* dist;
         if (options.dtw_cache != nullptr) {
             dist = &options.dtw_cache->matrix(series, options.dtw_band,
-                                              options.pool);
+                                              options.pool, metrics);
         } else {
             local = cluster::dtw_distance_matrix(series, options.dtw_band,
-                                                 options.pool);
+                                                 options.pool, metrics);
             dist = &local;
         }
         // k in [2, n/2] per the paper ("we aim to reduce the original set to
@@ -78,6 +93,7 @@ SignatureSearchResult find_signatures(
     // ---- Step 2: multicollinearity removal ----------------------------------
     if (!options.apply_stepwise || result.initial_signatures.size() < 2) {
         result.signatures = result.initial_signatures;
+        record();
         return result;
     }
     std::vector<std::vector<double>> sig_series;
@@ -86,11 +102,12 @@ SignatureSearchResult find_signatures(
         sig_series.push_back(series[static_cast<std::size_t>(idx)]);
     }
     const std::vector<std::size_t> kept =
-        la::reduce_multicollinearity(sig_series, options.vif_threshold);
+        la::reduce_multicollinearity(sig_series, options.vif_threshold, metrics);
     result.signatures.reserve(kept.size());
     for (std::size_t k : kept) {
         result.signatures.push_back(result.initial_signatures[k]);
     }
+    record();
     return result;
 }
 

@@ -11,6 +11,9 @@ class ThreadPool;
 namespace atm::cluster {
 class DtwMatrixCache;
 }
+namespace atm::obs {
+class MetricsRegistry;
+}
 
 namespace atm::core {
 
@@ -50,6 +53,11 @@ struct SignatureSearchOptions {
     /// reuse the matrix instead of recomputing it. Not owned; one cache
     /// per series set.
     cluster::DtwMatrixCache* dtw_cache = nullptr;
+    /// Optional stage-metrics sink (not owned). Records search counters
+    /// (`search.series`, `search.clusters`, `search.initial_signatures`,
+    /// `search.final_signatures`), the clustering silhouette gauge, and
+    /// is forwarded to the DTW matrix / cache and the VIF reduction.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of the signature search over a box's series set.

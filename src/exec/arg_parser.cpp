@@ -161,6 +161,23 @@ std::uint64_t ArgParser::get_u64(const std::string& name) const {
     }
 }
 
+void require_writable_file(const std::string& flag, const std::string& path) {
+    if (path.empty()) {
+        throw ArgParseError("--" + flag + ": empty path");
+    }
+    bool existed = false;
+    if (std::FILE* probe = std::fopen(path.c_str(), "rb"); probe != nullptr) {
+        existed = true;
+        std::fclose(probe);
+    }
+    std::FILE* out = std::fopen(path.c_str(), "ab");
+    if (out == nullptr) {
+        throw ArgParseError("--" + flag + ": cannot write '" + path + "'");
+    }
+    std::fclose(out);
+    if (!existed) std::remove(path.c_str());
+}
+
 void ArgParser::print_help(std::FILE* out) const {
     std::fprintf(out, "usage: %s", command_.c_str());
     for (const Spec& p : positionals_) std::fprintf(out, " <%s>", p.name.c_str());

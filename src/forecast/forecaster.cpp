@@ -10,7 +10,8 @@
 namespace atm::forecast {
 
 std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
-                                            int seasonal_period, unsigned seed) {
+                                            int seasonal_period, unsigned seed,
+                                            obs::MetricsRegistry* metrics) {
     switch (model) {
         case TemporalModel::kSeasonalNaive:
             return std::make_unique<SeasonalNaiveForecaster>(
@@ -21,6 +22,7 @@ std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
             MlpForecasterOptions options;
             options.seasonal_period = seasonal_period;
             options.train.seed = seed;
+            options.train.metrics = metrics;
             return std::make_unique<MlpForecaster>(options);
         }
         case TemporalModel::kHoltWinters:
@@ -28,12 +30,12 @@ std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
                 seasonal_period > 1 ? seasonal_period : 2);
         case TemporalModel::kEnsemble: {
             std::vector<std::unique_ptr<Forecaster>> members;
-            members.push_back(
-                make_forecaster(TemporalModel::kAutoregressive, seasonal_period, seed));
-            members.push_back(
-                make_forecaster(TemporalModel::kHoltWinters, seasonal_period, seed));
-            members.push_back(
-                make_forecaster(TemporalModel::kNeuralNetwork, seasonal_period, seed));
+            members.push_back(make_forecaster(TemporalModel::kAutoregressive,
+                                              seasonal_period, seed, metrics));
+            members.push_back(make_forecaster(TemporalModel::kHoltWinters,
+                                              seasonal_period, seed, metrics));
+            members.push_back(make_forecaster(TemporalModel::kNeuralNetwork,
+                                              seasonal_period, seed, metrics));
             return std::make_unique<EnsembleForecaster>(std::move(members));
         }
     }

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::forecast {
 
 /// Interface for temporal prediction models of a single demand series.
@@ -46,9 +50,12 @@ enum class TemporalModel {
 ///
 /// `seasonal_period` is the dominant seasonality in samples (96 for
 /// 15-minute windows over a day); `seed` feeds stochastic trainers (MLP).
+/// `metrics` (optional, not owned) receives trainer counters from models
+/// that expose them (the MLP's epoch/example counts).
 std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
                                             int seasonal_period,
-                                            unsigned seed = 42);
+                                            unsigned seed = 42,
+                                            obs::MetricsRegistry* metrics = nullptr);
 
 std::string to_string(TemporalModel model);
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace atm::forecast {
 
 MlpNetwork::MlpNetwork(std::vector<int> layer_sizes, Activation activation,
@@ -147,7 +149,9 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
         return acc / static_cast<double>(val_count);
     };
 
+    int epochs_run = 0;
     for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        ++epochs_run;
         std::shuffle(order.begin(), order.end(), shuffle_rng);
         double train_loss = 0.0;
         for (std::size_t idx : order) {
@@ -201,6 +205,12 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
                 break;
             }
         }
+    }
+    if (options.metrics != nullptr) {
+        options.metrics->add("forecast.mlp.fits");
+        options.metrics->add("forecast.mlp.epochs",
+                             static_cast<std::uint64_t>(epochs_run));
+        options.metrics->add("forecast.mlp.examples", inputs.size());
     }
     return val_count > 0 ? best_val : last_train_loss;
 }

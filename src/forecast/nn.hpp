@@ -5,6 +5,10 @@
 #include <span>
 #include <vector>
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::forecast {
 
 /// Activation function for hidden layers of the MLP.
@@ -29,6 +33,10 @@ struct MlpTrainOptions {
     /// L2 weight penalty.
     double weight_decay = 1e-5;
     unsigned seed = 42;
+    /// Optional stage-metrics sink (not owned): train() records
+    /// `forecast.mlp.epochs` / `forecast.mlp.examples` counters. Early
+    /// stopping is seed-deterministic, so both counters are too.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A small fully-connected feed-forward network with one output unit,

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace atm::la {
 namespace {
 
@@ -97,7 +99,7 @@ std::vector<double> variance_inflation_factors(
 
 std::vector<std::size_t> reduce_multicollinearity(
     const std::vector<std::vector<double>>& predictors,
-    double vif_threshold) {
+    double vif_threshold, obs::MetricsRegistry* metrics) {
     std::vector<std::size_t> kept(predictors.size());
     for (std::size_t i = 0; i < kept.size(); ++i) kept[i] = i;
 
@@ -106,10 +108,15 @@ std::vector<std::size_t> reduce_multicollinearity(
         current.reserve(kept.size());
         for (std::size_t idx : kept) current.push_back(predictors[idx]);
         const std::vector<double> vifs = variance_inflation_factors(current);
+        if (metrics != nullptr) {
+            metrics->add("linalg.vif.iterations");
+            metrics->add("linalg.vif.checks", vifs.size());
+        }
         const auto worst =
             std::max_element(vifs.begin(), vifs.end()) - vifs.begin();
         if (vifs[static_cast<std::size_t>(worst)] <= vif_threshold) break;
         kept.erase(kept.begin() + worst);
+        if (metrics != nullptr) metrics->add("linalg.vif.removed");
     }
     return kept;
 }

@@ -5,6 +5,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::la {
 
 /// Result of an ordinary-least-squares fit y ~ intercept + X b.
@@ -52,9 +56,12 @@ std::vector<double> variance_inflation_factors(
 /// `predictors` that are kept, in ascending order. This is the paper's
 /// Step 2 ("stepwise regression to remove the series that can be
 /// represented as linear combinations of the other signature series").
+/// When `metrics` is non-null, records `linalg.vif.iterations` (sweeps),
+/// `linalg.vif.checks` (individual VIF evaluations) and
+/// `linalg.vif.removed` counters — all deterministic.
 std::vector<std::size_t> reduce_multicollinearity(
     const std::vector<std::vector<double>>& predictors,
-    double vif_threshold = 4.0);
+    double vif_threshold = 4.0, obs::MetricsRegistry* metrics = nullptr);
 
 /// Classical forward-selection stepwise regression: greedily adds the
 /// predictor that most improves adjusted R² until no candidate improves it

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace atm::resize {
 namespace {
@@ -44,7 +47,8 @@ MckpSolution assemble(const MckpInstance& instance, std::vector<int> choice,
 
 }  // namespace
 
-MckpSolution solve_mckp_greedy(const MckpInstance& instance) {
+MckpSolution solve_mckp_greedy(const MckpInstance& instance,
+                               obs::MetricsRegistry* metrics) {
     validate(instance);
     const std::size_t n = instance.groups.size();
     std::vector<int> choice(n, 0);  // start: max capacity = fewest tickets
@@ -52,7 +56,9 @@ MckpSolution solve_mckp_greedy(const MckpInstance& instance) {
     for (const ReducedDemandSet& g : instance.groups) {
         used += g.candidates.front().capacity;
     }
+    if (metrics != nullptr) metrics->add("resize.mckp.groups", n);
 
+    std::uint64_t iterations = 0;
     while (used > instance.total_capacity + 1e-9) {
         double best_mtrv = std::numeric_limits<double>::infinity();
         std::size_t best_i = n;
@@ -78,12 +84,20 @@ MckpSolution solve_mckp_greedy(const MckpInstance& instance) {
         }
         if (best_i == n) {
             // Every VM already at its minimal candidate: infeasible budget.
+            if (metrics != nullptr) {
+                metrics->add("resize.mckp.greedy_iterations", iterations);
+                metrics->add("resize.mckp.infeasible");
+            }
             return assemble(instance, std::move(choice), /*feasible=*/false);
         }
         const auto& cands = instance.groups[best_i].candidates;
         const auto cur = static_cast<std::size_t>(choice[best_i]);
         used -= cands[cur].capacity - cands[cur + 1].capacity;
         ++choice[best_i];
+        ++iterations;
+    }
+    if (metrics != nullptr) {
+        metrics->add("resize.mckp.greedy_iterations", iterations);
     }
     return assemble(instance, std::move(choice), /*feasible=*/true);
 }

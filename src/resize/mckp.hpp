@@ -4,6 +4,10 @@
 
 #include "resize/reduced_demand.hpp"
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::resize {
 
 /// A multi-choice knapsack instance: one candidate group per VM; exactly
@@ -36,7 +40,12 @@ struct MckpSolution {
 /// If the instance is infeasible even with every VM at its minimal
 /// candidate (possible with lower bounds), the minimal choice is returned
 /// with `feasible = false`.
-MckpSolution solve_mckp_greedy(const MckpInstance& instance);
+///
+/// When `metrics` is non-null, records deterministic counters:
+/// `resize.mckp.groups`, `resize.mckp.greedy_iterations` (downgrade
+/// steps taken) and `resize.mckp.infeasible`.
+MckpSolution solve_mckp_greedy(const MckpInstance& instance,
+                               obs::MetricsRegistry* metrics = nullptr);
 
 /// Exact MCKP solver via dynamic programming over a discretized capacity
 /// grid of `grid_steps` cells (capacities are scaled down — conservatively

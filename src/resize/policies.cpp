@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace atm::resize {
 namespace {
@@ -62,6 +65,13 @@ MckpInstance build_instance(const ResizeInput& input, bool discretize) {
             input.demands[i], input.alpha, eps, lbs[i],
             /*upper_bound=*/input.total_capacity, keep));
     }
+    if (input.metrics != nullptr) {
+        std::uint64_t candidates = 0;
+        for (const ReducedDemandSet& g : instance.groups) {
+            candidates += g.candidates.size();
+        }
+        input.metrics->add("resize.mckp.candidates", candidates);
+    }
     return instance;
 }
 
@@ -96,7 +106,8 @@ int tickets_for_allocation(const std::vector<std::vector<double>>& demands,
 ResizeResult atm_resize(const ResizeInput& input) {
     validate(input);
     return from_solution(
-        input, solve_mckp_greedy(build_instance(input, /*discretize=*/true)));
+        input, solve_mckp_greedy(build_instance(input, /*discretize=*/true),
+                                 input.metrics));
 }
 
 ResizeResult atm_resize_exact(const ResizeInput& input, int grid_steps) {

@@ -5,6 +5,10 @@
 
 #include "resize/mckp.hpp"
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::resize {
 
 /// Input to a per-box, per-resource resizing decision: the (predicted)
@@ -32,6 +36,10 @@ struct ResizeInput {
     /// their slack unless the budget needs it (robustness to prediction
     /// error at zero predicted cost; see build_reduced_demand_set).
     std::vector<double> current_capacities;
+    /// Optional stage-metrics sink (not owned): the ATM policies record
+    /// `resize.mckp.candidates` and the greedy solver's iteration
+    /// counters into it. Null disables instrumentation.
+    obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-VM capacity allocations chosen by a policy.

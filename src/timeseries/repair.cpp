@@ -1,7 +1,10 @@
 #include "timeseries/repair.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
 
 namespace atm::ts {
 
@@ -61,8 +64,16 @@ std::vector<double> repair_gaps(std::span<const double> xs,
 }
 
 std::vector<double> repair_series(std::span<const double> xs,
-                                  RepairMethod method, int period) {
-    return repair_gaps(xs, find_gaps(xs), method, period);
+                                  RepairMethod method, int period,
+                                  obs::MetricsRegistry* metrics) {
+    const std::vector<Gap> gaps = find_gaps(xs);
+    if (metrics != nullptr && !gaps.empty()) {
+        std::uint64_t filled = 0;
+        for (const Gap& gap : gaps) filled += gap.length;
+        metrics->add("repair.gaps", gaps.size());
+        metrics->add("repair.samples_filled", filled);
+    }
+    return repair_gaps(xs, gaps, method, period);
 }
 
 }  // namespace atm::ts

@@ -3,6 +3,10 @@
 #include <span>
 #include <vector>
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::ts {
 
 /// A run of missing samples [first, first + length).
@@ -36,9 +40,11 @@ std::vector<double> repair_gaps(std::span<const double> xs,
                                 RepairMethod method = RepairMethod::kSeasonal,
                                 int period = 96);
 
-/// Convenience: find_gaps + repair_gaps.
+/// Convenience: find_gaps + repair_gaps. When `metrics` is non-null,
+/// records `repair.gaps` (runs found) and `repair.samples_filled`.
 std::vector<double> repair_series(std::span<const double> xs,
                                   RepairMethod method = RepairMethod::kSeasonal,
-                                  int period = 96);
+                                  int period = 96,
+                                  obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace atm::ts

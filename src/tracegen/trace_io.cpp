@@ -1,11 +1,14 @@
 #include "tracegen/trace_io.hpp"
 
 #include <charconv>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace atm::trace {
 namespace {
@@ -75,12 +78,15 @@ void write_trace_csv_file(const std::string& path, const Trace& trace) {
     write_trace_csv(out, trace);
 }
 
-Trace read_trace_csv(std::istream& in, int windows_per_day) {
+Trace read_trace_csv(std::istream& in, int windows_per_day,
+                     obs::MetricsRegistry* metrics) {
+    obs::ScopedTimer load_timer(metrics, "trace.load");
     Trace trace;
     trace.windows_per_day = windows_per_day;
 
     std::string line;
     int line_no = 0;
+    std::uint64_t rows = 0;
     BoxTrace* box = nullptr;
     VmTrace* vm = nullptr;
 
@@ -139,14 +145,23 @@ Trace read_trace_csv(std::istream& in, int windows_per_day) {
         vm->ram_demand_gb.push_back(
             f[8].empty() ? ram_usage / 100.0 * vm->ram_capacity_gb
                          : parse_double(f[8], line_no, "ram demand"));
+        ++rows;
+    }
+    if (metrics != nullptr) {
+        metrics->add("trace.rows", rows);
+        metrics->add("trace.boxes", trace.boxes.size());
+        std::uint64_t vms = 0;
+        for (const BoxTrace& b : trace.boxes) vms += b.vms.size();
+        metrics->add("trace.vms", vms);
     }
     return trace;
 }
 
-Trace read_trace_csv_file(const std::string& path, int windows_per_day) {
+Trace read_trace_csv_file(const std::string& path, int windows_per_day,
+                          obs::MetricsRegistry* metrics) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("read_trace_csv_file: cannot open " + path);
-    return read_trace_csv(in, windows_per_day);
+    return read_trace_csv(in, windows_per_day, metrics);
 }
 
 }  // namespace atm::trace

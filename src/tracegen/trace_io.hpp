@@ -5,6 +5,10 @@
 
 #include "tracegen/trace.hpp"
 
+namespace atm::obs {
+class MetricsRegistry;
+}
+
 namespace atm::trace {
 
 /// CSV schema for monitoring traces, one row per (box, VM, window):
@@ -31,9 +35,14 @@ void write_trace_csv_file(const std::string& path, const Trace& trace);
 
 /// Reads a trace from the CSV schema. `windows_per_day` is metadata the
 /// CSV does not carry (defaults to the paper's 96).
-Trace read_trace_csv(std::istream& in, int windows_per_day = 96);
+///
+/// When `metrics` is non-null, records `trace.rows`, `trace.boxes` and
+/// `trace.vms` counters plus a `trace.load` timer span.
+Trace read_trace_csv(std::istream& in, int windows_per_day = 96,
+                     obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience: reads from a file path.
-Trace read_trace_csv_file(const std::string& path, int windows_per_day = 96);
+Trace read_trace_csv_file(const std::string& path, int windows_per_day = 96,
+                          obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace atm::trace

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -417,6 +420,43 @@ TEST(ArgParserTest, ErrorsOnMissingPositionalAndExtraPositional) {
         EXPECT_THROW(parser.parse(static_cast<int>(argv.size()), argv.data(), 1),
                      exec::ArgParseError);
     }
+}
+
+TEST(ArgParserTest, RequireWritableFileRejectsBadPaths) {
+    // Unwritable directory component -> hard usage error, not a silent
+    // no-op after the fleet run (this is what `--metrics-out` leans on).
+    EXPECT_THROW(
+        exec::require_writable_file("metrics-out",
+                                    "/nonexistent-dir-atm/metrics.json"),
+        exec::ArgParseError);
+    EXPECT_THROW(exec::require_writable_file("metrics-out", ""),
+                 exec::ArgParseError);
+}
+
+TEST(ArgParserTest, RequireWritableFileAcceptsAndCleansUpProbe) {
+    const std::string path =
+        testing::TempDir() + "atm_require_writable_probe.json";
+    std::remove(path.c_str());
+    EXPECT_NO_THROW(exec::require_writable_file("metrics-out", path));
+    // The probe created the file only to test writability; it must not
+    // leave an empty report behind.
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_EQ(f, nullptr);
+    if (f != nullptr) std::fclose(f);
+
+    // An existing file is left untouched (append-mode probe).
+    {
+        std::FILE* out = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(out, nullptr);
+        std::fputs("keep me", out);
+        std::fclose(out);
+    }
+    EXPECT_NO_THROW(exec::require_writable_file("metrics-out", path));
+    std::ifstream in(path);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, "keep me");
+    std::remove(path.c_str());
 }
 
 TEST(ArgParserTest, HelpReturnsFalse) {

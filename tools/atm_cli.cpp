@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "core/fleet.hpp"
+#include "core/metrics_report.hpp"
 #include "exec/arg_parser.hpp"
 #include "forecast/backtest.hpp"
+#include "obs/metrics.hpp"
 #include "ticketing/characterization.hpp"
 #include "timeseries/stats.hpp"
 #include "tracegen/generator.hpp"
@@ -43,6 +45,8 @@ void add_pipeline_flags(exec::ArgParser& parser) {
         .option("train-days", "5", "days of training history")
         .option("jobs", "0", "worker threads; 0 = hardware concurrency")
         .option("box", "", "evaluate only the box with this name")
+        .option("metrics-out", "",
+                "write a JSON stage-metrics report (atm.metrics.v1) here")
         .flag("include-gappy", "also evaluate boxes with monitoring gaps");
 }
 
@@ -84,6 +88,13 @@ core::FleetConfig fleet_config_from_flags(const exec::ArgParser& parser) {
     config.jobs = parser.get_int("jobs");
     config.skip_gappy_boxes = !parser.get_flag("include-gappy");
     if (!parser.get("box").empty()) config.box_names = {parser.get("box")};
+
+    // Fail a bad report path *before* the fleet run, as a usage error.
+    if (const std::string& metrics_out = parser.get("metrics-out");
+        !metrics_out.empty()) {
+        exec::require_writable_file("metrics-out", metrics_out);
+        config.collect_metrics = true;
+    }
 
     if (const std::string problems = config.validate(); !problems.empty()) {
         throw exec::ArgParseError(problems);
@@ -151,9 +162,20 @@ int cmd_predict(int argc, char** argv) {
 
     core::FleetConfig config = fleet_config_from_flags(parser);
     config.policies.clear();  // prediction only, no resizing
-    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
+    // Trace loading happens outside any box pipeline, so its metrics live
+    // in a CLI-owned registry merged into the report as `extra`.
+    obs::MetricsRegistry cli_metrics(config.collect_metrics);
+    const trace::Trace t = trace::read_trace_csv_file(
+        parser.get("trace.csv").c_str(), 96,
+        config.collect_metrics ? &cli_metrics : nullptr);
 
     const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    if (const std::string& out = parser.get("metrics-out"); !out.empty()) {
+        core::write_metrics_report_file(out, fleet, "predict",
+                                        cli_metrics.snapshot());
+        std::printf("metrics report: %s\n", out.c_str());
+    }
 
     std::printf("%-12s %10s %10s %12s %10s\n", "box", "series", "signatures",
                 "APE all(%)", "peak(%)");
@@ -199,9 +221,18 @@ int cmd_resize(int argc, char** argv) {
         throw exec::ArgParseError("unknown --policy '" + policy_name +
                                   "' (expected atm|max-min|stingy)");
     }
-    const trace::Trace t = trace::read_trace_csv_file(parser.get("trace.csv").c_str());
+    obs::MetricsRegistry cli_metrics(config.collect_metrics);
+    const trace::Trace t = trace::read_trace_csv_file(
+        parser.get("trace.csv").c_str(), 96,
+        config.collect_metrics ? &cli_metrics : nullptr);
 
     const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    if (const std::string& out = parser.get("metrics-out"); !out.empty()) {
+        core::write_metrics_report_file(out, fleet, "resize",
+                                        cli_metrics.snapshot());
+        std::printf("metrics report: %s\n", out.c_str());
+    }
 
     std::printf("%-12s %14s %14s\n", "box", "CPU tickets", "RAM tickets");
     for (const core::FleetBoxResult& b : fleet.boxes) {
