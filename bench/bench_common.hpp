@@ -8,14 +8,36 @@
 #include <cstdio>
 #include <cstdlib>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "timeseries/cdf.hpp"
 #include "timeseries/stats.hpp"
 
 namespace atm::bench {
+
+/// Schema tag stamped on every bench JSON artifact (BENCH_*.json).
+inline constexpr const char* kBenchSchema = "atm.bench.v1";
+
+/// Serializes `doc` to `path` (pretty-printed, trailing newline) so bench
+/// runs leave a machine-readable perf trajectory next to the binary.
+/// Throws std::runtime_error when the file cannot be written.
+inline void write_json_file(const std::string& path,
+                            const obs::json::Value& doc) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        throw std::runtime_error("write_json_file: cannot open " + path);
+    }
+    const std::string text = obs::json::serialize(doc, 2);
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                    std::fputc('\n', f) != EOF;
+    if (std::fclose(f) != 0 || !ok) {
+        throw std::runtime_error("write_json_file: short write to " + path);
+    }
+}
 
 /// Integer knob from the environment with a default.
 inline int env_int(const char* name, int fallback) {

@@ -2,19 +2,24 @@
 // a box population at increasing worker counts, against the legacy
 // serial loop (run_pipeline_on_box per box, one thread, no pool).
 //
-// Prints per-jobs wall time, speedup over serial, and verifies that the
-// fleet aggregates are bit-identical at every worker count — the
-// executor's determinism contract.
+// Prints per-jobs wall time, throughput (boxes/sec), speedup over
+// serial, and verifies that the fleet aggregates are bit-identical at
+// every worker count — the executor's determinism contract. The same
+// rows are written as a JSON perf-trajectory artifact (schema
+// atm.bench.v1) to ATM_BENCH_JSON (default BENCH_fleet.json) so CI and
+// before/after comparisons can diff machine-readable numbers.
 //
 // Knobs: ATM_BOXES (default 24), ATM_MAX_JOBS (default hardware
-// concurrency), ATM_SEED.
+// concurrency), ATM_SEED, ATM_BENCH_JSON.
 
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/fleet.hpp"
+#include "obs/json.hpp"
 #include "tracegen/generator.hpp"
 
 int main() {
@@ -41,7 +46,8 @@ int main() {
 
     std::printf("%zu boxes, %u hardware threads\n\n", t.boxes.size(),
                 hw);
-    std::printf("%6s %10s %9s %s\n", "jobs", "wall(s)", "speedup", "identical");
+    std::printf("%6s %10s %11s %9s %s\n", "jobs", "wall(s)", "boxes/sec",
+                "speedup", "identical");
 
     double serial_wall = 0.0;
     core::FleetResult reference;
@@ -51,6 +57,7 @@ int main() {
         job_counts.push_back(max_jobs);
     }
 
+    obs::json::Value runs = obs::json::Value::make_array();
     for (const int jobs : job_counts) {
         config.jobs = jobs;
         const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
@@ -71,12 +78,51 @@ int main() {
                 }
             }
         }
-        std::printf("%6d %10.2f %8.2fx %s\n", jobs, fleet.wall_seconds,
-                    serial_wall > 0.0 ? serial_wall / fleet.wall_seconds : 1.0,
+        const double speedup =
+            serial_wall > 0.0 ? serial_wall / fleet.wall_seconds : 1.0;
+        const double boxes_per_sec =
+            fleet.wall_seconds > 0.0
+                ? static_cast<double>(t.boxes.size()) / fleet.wall_seconds
+                : 0.0;
+        std::printf("%6d %10.2f %11.2f %8.2fx %s\n", jobs, fleet.wall_seconds,
+                    boxes_per_sec, speedup,
                     jobs == 1 ? "(reference)" : (identical ? "yes" : "NO"));
+
+        obs::json::Value run = obs::json::Value::make_object();
+        run.set("jobs", obs::json::Value::of(static_cast<std::int64_t>(jobs)));
+        run.set("wall_seconds", obs::json::Value::of(fleet.wall_seconds));
+        run.set("boxes_per_sec", obs::json::Value::of(boxes_per_sec));
+        run.set("speedup", obs::json::Value::of(speedup));
+        run.set("identical", obs::json::Value::of(identical));
+        runs.array.push_back(std::move(run));
     }
 
     std::printf("\n");
     bench::print_stage_breakdown(reference.metrics);
+
+    obs::json::Value doc = obs::json::Value::make_object();
+    doc.set("schema", obs::json::Value::of(bench::kBenchSchema));
+    doc.set("bench", obs::json::Value::of("fleet_scaling"));
+    doc.set("boxes",
+            obs::json::Value::of(static_cast<std::uint64_t>(t.boxes.size())));
+    doc.set("days",
+            obs::json::Value::of(static_cast<std::int64_t>(options.num_days)));
+    doc.set("seed", obs::json::Value::of(
+                        static_cast<std::uint64_t>(options.seed)));
+    doc.set("runs", std::move(runs));
+    obs::json::Value counters = obs::json::Value::make_object();
+    for (const char* name :
+         {"cluster.dtw.pairs", "cluster.dtw.cells", "linalg.vif.iterations",
+          "forecast.mlp.epochs", "resize.mckp.greedy_iterations"}) {
+        counters.set(name,
+                     obs::json::Value::of(reference.metrics.counter(name)));
+    }
+    doc.set("counters", std::move(counters));
+
+    const char* out_env = std::getenv("ATM_BENCH_JSON");
+    const std::string out_path =
+        out_env != nullptr ? out_env : "BENCH_fleet.json";
+    bench::write_json_file(out_path, doc);
+    std::printf("\nwrote %s\n", out_path.c_str());
     return 0;
 }

@@ -17,8 +17,10 @@
 #include "core/fleet.hpp"
 #include "exec/thread_pool.hpp"
 #include "forecast/mlp_forecaster.hpp"
+#include "forecast/nn.hpp"
 #include "forecast/seasonal_naive.hpp"
 #include "linalg/ols.hpp"
+#include "linalg/ridge.hpp"
 #include "resize/policies.hpp"
 #include "tracegen/generator.hpp"
 
@@ -50,6 +52,29 @@ void BM_DtwDistanceBanded(benchmark::State& state) {
 }
 BENCHMARK(BM_DtwDistanceBanded)->Arg(1)->Arg(2)->Arg(5);
 
+/// Warm-workspace DTW pair: the steady-state cost inside the pairwise
+/// matrix loop — no per-call DP-row allocations, band-window-only resets.
+void BM_DtwDistanceWorkspace(benchmark::State& state) {
+    const auto series = box_series(static_cast<int>(state.range(0)));
+    cluster::DtwWorkspace workspace;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cluster::dtw_distance(
+            series[0], series[2], /*band=*/8, workspace));
+    }
+}
+BENCHMARK(BM_DtwDistanceWorkspace)->Arg(1)->Arg(2)->Arg(5);
+
+/// Full pairwise matrix under a Sakoe-Chiba band — the headline kernel
+/// for the banded signature search. Arg = days of history per series.
+void BM_DtwMatrixBanded(benchmark::State& state) {
+    const auto series = box_series(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::dtw_distance_matrix(series, /*band=*/8).size());
+    }
+}
+BENCHMARK(BM_DtwMatrixBanded)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
 void BM_DtwMatrixPlusClustering(benchmark::State& state) {
     const auto series = box_series(1);
     for (auto _ : state) {
@@ -79,6 +104,32 @@ void BM_OlsFit(benchmark::State& state) {
 }
 BENCHMARK(BM_OlsFit);
 
+/// Fused OLS through the VIF backward-elimination driver: span views
+/// over the signature columns, implicit-Q Householder solves (no m×m Qᵀ
+/// temporary, no per-trial column copies).
+void BM_VifReduce(benchmark::State& state) {
+    const auto series = box_series(5);
+    const std::vector<std::vector<double>> predictors(series.begin(),
+                                                      series.begin() + 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(la::reduce_multicollinearity(predictors).size());
+    }
+}
+BENCHMARK(BM_VifReduce)->Unit(benchmark::kMillisecond);
+
+/// Fused ridge normal equations: columns centered once into a contiguous
+/// block, Gram matrix accumulated straight from it.
+void BM_RidgeFit(benchmark::State& state) {
+    const auto series = box_series(5);
+    const std::vector<std::vector<double>> predictors(series.begin(),
+                                                      series.begin() + 4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            la::ridge_fit(series[5], predictors, 0.5).r_squared);
+    }
+}
+BENCHMARK(BM_RidgeFit);
+
 void BM_MckpGreedyResize(benchmark::State& state) {
     const auto series = box_series(1);
     resize::ResizeInput input;
@@ -104,6 +155,31 @@ void BM_MlpTrainSignature(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_MlpTrainSignature)->Unit(benchmark::kMillisecond);
+
+/// Raw network training loop (no forecaster wrapper): flattened
+/// per-layer weight arrays and a reused caller-owned workspace, so the
+/// per-sample SGD loop runs allocation-free.
+void BM_MlpNetworkTrain(benchmark::State& state) {
+    const auto series = box_series(5);
+    const auto& s = series[0];
+    const std::size_t lags = 8;
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (std::size_t i = lags; i < s.size(); ++i) {
+        inputs.emplace_back(s.begin() + static_cast<std::ptrdiff_t>(i - lags),
+                            s.begin() + static_cast<std::ptrdiff_t>(i));
+        targets.push_back(s[i]);
+    }
+    forecast::MlpTrainOptions options;
+    options.epochs = 20;
+    forecast::MlpWorkspace workspace;
+    for (auto _ : state) {
+        forecast::MlpNetwork net({static_cast<int>(lags), 8, 1},
+                                 forecast::Activation::kTanh, 42);
+        benchmark::DoNotOptimize(net.train(inputs, targets, options, &workspace));
+    }
+}
+BENCHMARK(BM_MlpNetworkTrain)->Unit(benchmark::kMillisecond);
 
 void BM_SeasonalNaive(benchmark::State& state) {
     const auto series = box_series(5);

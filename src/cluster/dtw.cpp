@@ -9,24 +9,41 @@
 #include "obs/metrics.hpp"
 
 namespace atm::cluster {
+namespace {
 
-double dtw_distance(std::span<const double> p, std::span<const double> q, int band) {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Grows `row` to at least `size` elements and fills the used prefix with
+/// +inf. Capacity is never released, so a reused workspace stops
+/// allocating once it has seen its largest series.
+void reset_row(std::vector<double>& row, std::size_t size) {
+    if (row.size() < size) row.resize(size);
+    std::fill(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(size), kInf);
+}
+
+}  // namespace
+
+double dtw_distance(std::span<const double> p, std::span<const double> q,
+                    int band, DtwWorkspace& workspace) {
     const std::size_t n = p.size();
     const std::size_t m = q.size();
     if (n == 0 && m == 0) return 0.0;
-    if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+    if (n == 0 || m == 0) return kInf;
 
-    constexpr double kInf = std::numeric_limits<double>::infinity();
     // Two-row rolling DP over λ(i, j); index 0 is the virtual λ(0, ·) row.
-    std::vector<double> prev(m + 1, kInf);
-    std::vector<double> curr(m + 1, kInf);
-    prev[0] = 0.0;
+    // Both rows start all-infinite; per DP row only the band window
+    // [j_lo − 1, j_hi] is re-reset. That is sound because the window is
+    // monotone in i (its center slope·i only moves right), so any cell a
+    // later row reads outside an earlier row's window still holds the
+    // +inf written here, never a stale value from two rows back.
+    reset_row(workspace.prev, m + 1);
+    reset_row(workspace.curr, m + 1);
+    workspace.prev[0] = 0.0;
 
     // Effective band half-width scaled for unequal lengths.
     const double slope = n > 1 ? static_cast<double>(m) / static_cast<double>(n) : 1.0;
 
     for (std::size_t i = 1; i <= n; ++i) {
-        std::fill(curr.begin(), curr.end(), kInf);
         std::size_t j_lo = 1;
         std::size_t j_hi = m;
         if (band >= 0) {
@@ -36,6 +53,9 @@ double dtw_distance(std::span<const double> p, std::span<const double> q, int ba
             j_lo = static_cast<std::size_t>(std::max(1LL, lo));
             j_hi = static_cast<std::size_t>(std::min(static_cast<long long>(m), hi));
         }
+        double* prev = workspace.prev.data();
+        double* curr = workspace.curr.data();
+        std::fill(curr + (j_lo - 1), curr + j_hi + 1, kInf);
         for (std::size_t j = j_lo; j <= j_hi; ++j) {
             const double diff = p[i - 1] - q[j - 1];
             const double d = diff * diff;
@@ -43,9 +63,14 @@ double dtw_distance(std::span<const double> p, std::span<const double> q, int ba
                 std::min({prev[j - 1], prev[j], curr[j - 1]});
             curr[j] = best == kInf ? kInf : d + best;
         }
-        std::swap(prev, curr);
+        std::swap(workspace.prev, workspace.curr);
     }
-    return prev[m];
+    return workspace.prev[m];
+}
+
+double dtw_distance(std::span<const double> p, std::span<const double> q, int band) {
+    DtwWorkspace workspace;
+    return dtw_distance(p, q, band, workspace);
 }
 
 DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q) {
@@ -53,33 +78,31 @@ DtwAlignment dtw_align(std::span<const double> p, std::span<const double> q) {
     const std::size_t n = p.size();
     const std::size_t m = q.size();
     if (n == 0 || m == 0) {
-        out.distance = (n == 0 && m == 0)
-                           ? 0.0
-                           : std::numeric_limits<double>::infinity();
+        out.distance = (n == 0 && m == 0) ? 0.0 : kInf;
         return out;
     }
-    constexpr double kInf = std::numeric_limits<double>::infinity();
-    // Full table with a virtual row/column of infinities; table[0][0] = 0.
-    std::vector<std::vector<double>> table(n + 1, std::vector<double>(m + 1, kInf));
-    table[0][0] = 0.0;
+    // Full table as one contiguous (n+1) x (m+1) block with a virtual
+    // row/column of infinities; table(0, 0) = 0.
+    la::FlatMatrix table(n + 1, m + 1, kInf);
+    table(0, 0) = 0.0;
     for (std::size_t i = 1; i <= n; ++i) {
         for (std::size_t j = 1; j <= m; ++j) {
             const double diff = p[i - 1] - q[j - 1];
-            table[i][j] = diff * diff + std::min({table[i - 1][j - 1],
-                                                  table[i - 1][j],
-                                                  table[i][j - 1]});
+            table(i, j) = diff * diff + std::min({table(i - 1, j - 1),
+                                                  table(i - 1, j),
+                                                  table(i, j - 1)});
         }
     }
-    out.distance = table[n][m];
+    out.distance = table(n, m);
 
     // Backtrack greedily along the minimal predecessor.
     std::size_t i = n;
     std::size_t j = m;
     while (i >= 1 && j >= 1) {
         out.path.emplace_back(i - 1, j - 1);
-        const double diag = table[i - 1][j - 1];
-        const double up = table[i - 1][j];
-        const double left = table[i][j - 1];
+        const double diag = table(i - 1, j - 1);
+        const double up = table(i - 1, j);
+        const double left = table(i, j - 1);
         if (diag <= up && diag <= left) {
             --i;
             --j;
@@ -110,33 +133,63 @@ std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band) {
     return total;
 }
 
-std::vector<std::vector<double>> dtw_distance_matrix(
+la::FlatMatrix dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band,
     exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
     const std::size_t n = series.size();
-    std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
-    // One task per upper-triangle row; each writes only cells (i, j>i) and
-    // their mirror (j, i), which no other row touches, so the parallel and
-    // serial fills are bit-identical. Metric writes from row tasks are
-    // integer counters only: their merge is exact regardless of which
-    // worker thread (and thus registry shard) a row lands on.
-    exec::parallel_for_each(pool, n, [&](std::size_t i) {
-        std::uint64_t cells = 0;
-        for (std::size_t j = i + 1; j < n; ++j) {
-            const double d = dtw_distance(series[i], series[j], band);
-            dist[i][j] = d;
-            dist[j][i] = d;
-            cells += dtw_cell_count(series[i].size(), series[j].size(), band);
+    la::FlatMatrix dist(n, n, 0.0);
+    if (n < 2) return dist;
+
+    // Balanced split of the upper triangle: the old one-task-per-row split
+    // gave row i exactly n−i−1 pairs, so the first tasks carried most of
+    // the load. Chunking the linearized pair index instead gives every
+    // task within one pair of the same amount of work. Each pair writes
+    // only its own cells (i, j) / (j, i), which no other chunk touches, so
+    // the parallel and serial fills are bit-identical for any worker count
+    // and chunk size. Metric writes from chunk tasks are integer counters
+    // whose totals are chunking-invariant, so their merge is exact too.
+    const std::uint64_t pairs =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    const std::size_t participants = pool != nullptr ? pool->size() + 1 : 1;
+    const auto chunks = static_cast<std::size_t>(
+        std::min<std::uint64_t>(pairs, std::max<std::size_t>(1, 4 * participants)));
+    const std::uint64_t per_chunk = (pairs + chunks - 1) / chunks;
+
+    exec::parallel_for_each(pool, chunks, [&](std::size_t c) {
+        const std::uint64_t begin = static_cast<std::uint64_t>(c) * per_chunk;
+        const std::uint64_t end = std::min(pairs, begin + per_chunk);
+        if (begin >= end) return;
+        // Locate (i, j) of linear pair index `begin`: row i owns the
+        // n−i−1 pair indices starting at offset(i).
+        std::size_t i = 0;
+        std::uint64_t offset = 0;
+        while (offset + (n - i - 1) <= begin) {
+            offset += n - i - 1;
+            ++i;
         }
-        if (metrics != nullptr && i + 1 < n) {
-            metrics->add("cluster.dtw.pairs", n - i - 1);
+        std::size_t j = i + 1 + static_cast<std::size_t>(begin - offset);
+
+        DtwWorkspace workspace;  // reused across the chunk's pairs
+        std::uint64_t cells = 0;
+        for (std::uint64_t k = begin; k < end; ++k) {
+            const double d = dtw_distance(series[i], series[j], band, workspace);
+            dist(i, j) = d;
+            dist(j, i) = d;
+            cells += dtw_cell_count(series[i].size(), series[j].size(), band);
+            if (++j == n) {
+                ++i;
+                j = i + 1;
+            }
+        }
+        if (metrics != nullptr) {
+            metrics->add("cluster.dtw.pairs", end - begin);
             metrics->add("cluster.dtw.cells", cells);
         }
     });
     return dist;
 }
 
-const std::vector<std::vector<double>>& DtwMatrixCache::matrix(
+const la::FlatMatrix& DtwMatrixCache::matrix(
     const std::vector<std::vector<double>>& series, int band,
     exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
     if (series_count_ == 0) {

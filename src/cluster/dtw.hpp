@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::exec {
 class ThreadPool;
 }
@@ -13,6 +15,18 @@ class MetricsRegistry;
 }
 
 namespace atm::cluster {
+
+/// Reusable scratch for the DTW kernels: the two rolling DP rows of
+/// `dtw_distance` and the full table of `dtw_align`, grown on demand and
+/// never shrunk. One workspace serves any sequence of calls of any sizes
+/// (each call re-initializes the cells it uses), so the steady state of a
+/// pair loop — same-length series, one workspace — performs zero heap
+/// allocations per call. Not thread-safe: one workspace per thread/task.
+struct DtwWorkspace {
+    std::vector<double> prev;
+    std::vector<double> curr;
+    la::FlatMatrix table;  ///< dtw_align's (n+1) x (m+1) DP table
+};
 
 /// Dynamic-time-warping dissimilarity between two series (Section III-A).
 ///
@@ -27,6 +41,13 @@ namespace atm::cluster {
 /// around the diagonal (after length normalization); band < 0 (default)
 /// means unconstrained. Banding is an optimization the paper does not
 /// discuss; with band < 0 the result is the textbook DTW value.
+///
+/// The workspace overload reuses `workspace`'s DP rows instead of
+/// allocating fresh ones; per row it touches only the band window, so the
+/// banded kernel is O(band) per row instead of O(m). Both overloads
+/// return bit-identical values.
+double dtw_distance(std::span<const double> p, std::span<const double> q,
+                    int band, DtwWorkspace& workspace);
 double dtw_distance(std::span<const double> p, std::span<const double> q,
                     int band = -1);
 
@@ -36,15 +57,18 @@ double dtw_distance(std::span<const double> p, std::span<const double> q,
 /// are exact, deterministic, and O(n) to compute (vs O(n·m) to run).
 std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band = -1);
 
-/// Pairwise DTW distance matrix over a set of series. Symmetric with a
-/// zero diagonal; only the upper triangle is computed. O(n² · len²) — the
-/// dominant cost of the DTW signature search. When `pool` is non-null the
-/// triangle's rows are computed on the pool (each (i, j) cell is
-/// independent, so the result is identical for any worker count). When
-/// `metrics` is non-null each row task records `cluster.dtw.pairs` and
+/// Pairwise DTW distance matrix over a set of series, as one contiguous
+/// n x n block. Symmetric with a zero diagonal; only the upper triangle
+/// is computed. O(n² · len²) — the dominant cost of the DTW signature
+/// search. When `pool` is non-null the upper triangle's pairs are split
+/// into balanced contiguous chunks computed on the pool (each (i, j) cell
+/// is written by exactly one chunk, so the result is bit-identical for
+/// any worker count); each chunk reuses one DtwWorkspace across its
+/// pairs, keeping the pair loop allocation-free. When `metrics` is
+/// non-null each chunk records `cluster.dtw.pairs` and
 /// `cluster.dtw.cells` counters (from its worker thread — counters only,
-/// per the obs determinism convention).
-std::vector<std::vector<double>> dtw_distance_matrix(
+/// per the obs determinism convention; totals are chunking-invariant).
+la::FlatMatrix dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band = -1,
     exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
@@ -64,7 +88,7 @@ public:
     /// than the set the cache was first used with. When `metrics` is
     /// non-null, records a `cluster.dtw.cache_hits` / `cache_misses`
     /// counter (and forwards `metrics` into the matrix computation).
-    const std::vector<std::vector<double>>& matrix(
+    const la::FlatMatrix& matrix(
         const std::vector<std::vector<double>>& series, int band = -1,
         exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
 
@@ -81,15 +105,15 @@ public:
 
 private:
     std::size_t series_count_ = 0;
-    std::map<int, std::vector<std::vector<double>>> by_band_;
+    std::map<int, la::FlatMatrix> by_band_;
 };
 
 /// Full DTW alignment: the optimal warping path as (i, j) index pairs
 /// (0-based, monotone, from (0, 0) to (n-1, m-1)) plus the cumulative
-/// cost λ(n, m). Uses O(n·m) memory for backtracking — intended for
-/// inspection/diagnostics, not the inner clustering loop. An empty input
-/// series yields an empty path with infinite (or zero, if both empty)
-/// distance.
+/// cost λ(n, m). Uses O(n·m) memory — one contiguous DP block — for
+/// backtracking; intended for inspection/diagnostics, not the inner
+/// clustering loop. An empty input series yields an empty path with
+/// infinite (or zero, if both empty) distance.
 struct DtwAlignment {
     std::vector<std::pair<std::size_t, std::size_t>> path;
     double distance = 0.0;

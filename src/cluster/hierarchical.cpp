@@ -9,16 +9,14 @@
 namespace atm::cluster {
 namespace {
 
-void validate_square(const std::vector<std::vector<double>>& dist) {
+void validate_square(const la::FlatMatrix& dist) {
     if (dist.empty()) throw std::invalid_argument("clustering: empty distance matrix");
-    for (const auto& row : dist) {
-        if (row.size() != dist.size()) {
-            throw std::invalid_argument("clustering: non-square distance matrix");
-        }
+    if (dist.cols() != dist.rows()) {
+        throw std::invalid_argument("clustering: non-square distance matrix");
     }
 }
 
-double linkage_distance(const std::vector<std::vector<double>>& dist,
+double linkage_distance(const la::FlatMatrix& dist,
                         const std::vector<int>& a, const std::vector<int>& b,
                         Linkage linkage) {
     double best = linkage == Linkage::kSingle
@@ -44,7 +42,7 @@ double linkage_distance(const std::vector<std::vector<double>>& dist,
 }  // namespace
 
 std::vector<int> hierarchical_cluster(
-    const std::vector<std::vector<double>>& dist, int k, Linkage linkage) {
+    const la::FlatMatrix& dist, int k, Linkage linkage) {
     validate_square(dist);
     const int n = static_cast<int>(dist.size());
     if (k < 1 || k > n) throw std::invalid_argument("hierarchical_cluster: bad k");
@@ -80,7 +78,7 @@ std::vector<int> hierarchical_cluster(
 }
 
 std::vector<double> silhouette_values(
-    const std::vector<std::vector<double>>& dist,
+    const la::FlatMatrix& dist,
     const std::vector<int>& labels) {
     validate_square(dist);
     const std::size_t n = dist.size();
@@ -127,14 +125,14 @@ std::vector<double> silhouette_values(
     return s;
 }
 
-double mean_silhouette(const std::vector<std::vector<double>>& dist,
+double mean_silhouette(const la::FlatMatrix& dist,
                        const std::vector<int>& labels) {
     const std::vector<double> s = silhouette_values(dist, labels);
     if (s.empty()) return 0.0;
     return std::accumulate(s.begin(), s.end(), 0.0) / static_cast<double>(s.size());
 }
 
-BestClustering cluster_best_k(const std::vector<std::vector<double>>& dist,
+BestClustering cluster_best_k(const la::FlatMatrix& dist,
                               int k_min, int k_max, Linkage linkage) {
     validate_square(dist);
     const int n = static_cast<int>(dist.size());
@@ -155,7 +153,7 @@ BestClustering cluster_best_k(const std::vector<std::vector<double>>& dist,
     return best;
 }
 
-std::vector<int> cluster_medoids(const std::vector<std::vector<double>>& dist,
+std::vector<int> cluster_medoids(const la::FlatMatrix& dist,
                                  const std::vector<int>& labels) {
     validate_square(dist);
     const int k = labels.empty() ? 0 : *std::max_element(labels.begin(), labels.end()) + 1;

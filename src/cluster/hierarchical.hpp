@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::cluster {
 
 /// Linkage criterion for agglomerative clustering.
@@ -18,7 +20,7 @@ enum class Linkage {
 /// std::invalid_argument if the matrix is empty/non-square or k is not in
 /// [1, n]. O(n³) merge loop — adequate for per-box series counts.
 std::vector<int> hierarchical_cluster(
-    const std::vector<std::vector<double>>& dist, int k,
+    const la::FlatMatrix& dist, int k,
     Linkage linkage = Linkage::kAverage);
 
 /// Mean silhouette value over all items for a given clustering
@@ -26,12 +28,12 @@ std::vector<int> hierarchical_cluster(
 /// a(i) the mean within-cluster distance and b(i) the lowest mean distance
 /// to another cluster. Items in singleton clusters contribute s(i) = 0
 /// (standard convention). Returns 0 for k == 1 or n < 2.
-double mean_silhouette(const std::vector<std::vector<double>>& dist,
+double mean_silhouette(const la::FlatMatrix& dist,
                        const std::vector<int>& labels);
 
 /// Per-item silhouette values (same definition as mean_silhouette).
 std::vector<double> silhouette_values(
-    const std::vector<std::vector<double>>& dist,
+    const la::FlatMatrix& dist,
     const std::vector<int>& labels);
 
 /// Sweeps k over [k_min, k_max], clusters at each k, and returns the
@@ -43,7 +45,7 @@ struct BestClustering {
     int num_clusters = 0;
     double silhouette = 0.0;
 };
-BestClustering cluster_best_k(const std::vector<std::vector<double>>& dist,
+BestClustering cluster_best_k(const la::FlatMatrix& dist,
                               int k_min, int k_max,
                               Linkage linkage = Linkage::kAverage);
 
@@ -51,7 +53,7 @@ BestClustering cluster_best_k(const std::vector<std::vector<double>>& dist,
 /// distance to its co-members (the paper's signature pick: "the series with
 /// the lowest average dissimilarity in each cluster"). Returned in cluster-
 /// label order (entry c is the medoid of cluster c).
-std::vector<int> cluster_medoids(const std::vector<std::vector<double>>& dist,
+std::vector<int> cluster_medoids(const la::FlatMatrix& dist,
                                  const std::vector<int>& labels);
 
 }  // namespace atm::cluster

@@ -7,12 +7,10 @@
 namespace atm::cluster {
 namespace {
 
-void validate(const std::vector<std::vector<double>>& dist, int k) {
+void validate(const la::FlatMatrix& dist, int k) {
     if (dist.empty()) throw std::invalid_argument("k_medoids: empty distance matrix");
-    for (const auto& row : dist) {
-        if (row.size() != dist.size()) {
-            throw std::invalid_argument("k_medoids: non-square distance matrix");
-        }
+    if (dist.cols() != dist.rows()) {
+        throw std::invalid_argument("k_medoids: non-square distance matrix");
     }
     if (k < 1 || static_cast<std::size_t>(k) > dist.size()) {
         throw std::invalid_argument("k_medoids: bad k");
@@ -20,7 +18,7 @@ void validate(const std::vector<std::vector<double>>& dist, int k) {
 }
 
 /// Total cost of assigning every item to its closest medoid.
-double assignment_cost(const std::vector<std::vector<double>>& dist,
+double assignment_cost(const la::FlatMatrix& dist,
                        const std::vector<int>& medoids,
                        std::vector<int>* labels_out = nullptr) {
     double total = 0.0;
@@ -43,7 +41,7 @@ double assignment_cost(const std::vector<std::vector<double>>& dist,
 
 }  // namespace
 
-KMedoidsResult k_medoids(const std::vector<std::vector<double>>& dist, int k,
+KMedoidsResult k_medoids(const la::FlatMatrix& dist, int k,
                          int max_iter) {
     validate(dist, k);
     const std::size_t n = dist.size();

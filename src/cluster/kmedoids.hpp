@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::cluster {
 
 /// K-medoids clustering (Partitioning Around Medoids, build + swap) over a
@@ -19,7 +21,7 @@ struct KMedoidsResult {
 /// no single medoid/non-medoid exchange improves the cost (or `max_iter`
 /// sweeps). Deterministic. Throws std::invalid_argument for an empty or
 /// non-square matrix or k outside [1, n].
-KMedoidsResult k_medoids(const std::vector<std::vector<double>>& dist, int k,
+KMedoidsResult k_medoids(const la::FlatMatrix& dist, int k,
                          int max_iter = 50);
 
 }  // namespace atm::cluster

@@ -59,8 +59,8 @@ SignatureSearchResult find_signatures(
         // given) and through the per-box memo (when given), so the
         // cluster sweep and medoid pick below — and any later search on
         // the same window — never recompute a pairwise distance.
-        std::vector<std::vector<double>> local;
-        const std::vector<std::vector<double>>* dist;
+        la::FlatMatrix local;
+        const la::FlatMatrix* dist;
         if (options.dtw_cache != nullptr) {
             dist = &options.dtw_cache->matrix(series, options.dtw_band,
                                               options.pool, metrics);

@@ -67,12 +67,17 @@ std::vector<double> MlpForecaster::forecast(int horizon) const {
     // Scaled extended series: history then forecasts, so lag/seasonal
     // features for later steps can be looked up uniformly.
     std::vector<double> extended = scaler_.transform(history_);
+    extended.reserve(extended.size() + static_cast<std::size_t>(std::max(horizon, 0)));
     const auto lags = static_cast<std::size_t>(options_.num_lags);
     const auto period = static_cast<std::size_t>(options_.seasonal_period);
 
+    // One workspace and feature buffer reused across the horizon: the
+    // per-step loop below is allocation-free.
+    MlpWorkspace workspace;
+    std::vector<double> features;
+    features.reserve(lags + (period > 0 ? 1 : 0));
     for (int h = 0; h < horizon; ++h) {
-        std::vector<double> features;
-        features.reserve(lags + (period > 0 ? 1 : 0));
+        features.clear();
         for (std::size_t k = lags; k >= 1; --k) {
             features.push_back(k <= extended.size() ? extended[extended.size() - k]
                                                     : extended.front());
@@ -84,7 +89,8 @@ std::vector<double> MlpForecaster::forecast(int horizon) const {
         }
         // Clamp to the scaler's range: utilization-like series cannot run
         // away, and iterated feedback must not compound extrapolation.
-        const double scaled_pred = std::clamp(network_->predict(features), -0.25, 1.25);
+        const double scaled_pred =
+            std::clamp(network_->predict(features, workspace), -0.25, 1.25);
         extended.push_back(scaled_pred);
         out.push_back(scaler_.inverse(scaled_pred));
     }

@@ -10,6 +10,28 @@
 
 namespace atm::forecast {
 
+void MlpWorkspace::ensure(const std::vector<int>& layer_sizes) {
+    if (sized_for == layer_sizes) return;
+    sized_for = layer_sizes;
+    act_off.assign(layer_sizes.size(), 0);
+    unit_off.assign(layer_sizes.size() - 1, 0);
+    std::size_t acts_total = 0;
+    std::size_t units_total = 0;
+    for (std::size_t l = 0; l < layer_sizes.size(); ++l) {
+        act_off[l] = acts_total;
+        acts_total += static_cast<std::size_t>(layer_sizes[l]);
+        if (l > 0) {
+            unit_off[l - 1] = units_total;
+            units_total += static_cast<std::size_t>(layer_sizes[l]);
+        }
+    }
+    // resize (not assign): keep capacity, values are always written by
+    // forward/backprop before being read.
+    acts.resize(acts_total);
+    pres.resize(units_total);
+    deltas.resize(units_total);
+}
+
 MlpNetwork::MlpNetwork(std::vector<int> layer_sizes, Activation activation,
                        unsigned seed)
     : layer_sizes_(std::move(layer_sizes)), activation_(activation), rng_(seed) {
@@ -29,15 +51,18 @@ MlpNetwork::MlpNetwork(std::vector<int> layer_sizes, Activation activation,
         const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
         std::uniform_real_distribution<double> dist(-limit, limit);
         Layer& layer = layers_[l];
-        layer.weights.assign(static_cast<std::size_t>(fan_out),
-                             std::vector<double>(static_cast<std::size_t>(fan_in)));
+        layer.fan_in = fan_in;
+        layer.fan_out = fan_out;
+        const auto weight_count =
+            static_cast<std::size_t>(fan_out) * static_cast<std::size_t>(fan_in);
+        layer.weights.resize(weight_count);
         layer.biases.assign(static_cast<std::size_t>(fan_out), 0.0);
-        layer.weight_velocity.assign(static_cast<std::size_t>(fan_out),
-                                     std::vector<double>(static_cast<std::size_t>(fan_in), 0.0));
+        layer.weight_velocity.assign(weight_count, 0.0);
         layer.bias_velocity.assign(static_cast<std::size_t>(fan_out), 0.0);
-        for (auto& row : layer.weights) {
-            for (double& w : row) w = dist(rng_);
-        }
+        // Row-major draw order matches the historical nested-vector
+        // layout (unit j's row, then input i), so a given seed produces
+        // the exact same initial network.
+        for (double& w : layer.weights) w = dist(rng_);
     }
 }
 
@@ -60,52 +85,53 @@ double MlpNetwork::activate_grad(double activated, double pre) const {
 }
 
 void MlpNetwork::forward(std::span<const double> inputs,
-                         std::vector<std::vector<double>>& activations,
-                         std::vector<std::vector<double>>& pre_activations) const {
-    activations.assign(layers_.size() + 1, {});
-    pre_activations.assign(layers_.size(), {});
-    activations[0].assign(inputs.begin(), inputs.end());
+                         MlpWorkspace& ws) const {
+    ws.ensure(layer_sizes_);
+    std::copy(inputs.begin(), inputs.end(), ws.acts.begin());
 
     for (std::size_t l = 0; l < layers_.size(); ++l) {
         const Layer& layer = layers_[l];
-        const std::vector<double>& in = activations[l];
+        const double* in = ws.acts.data() + ws.act_off[l];
         const bool is_output = l + 1 == layers_.size();
-        std::vector<double>& pre = pre_activations[l];
-        std::vector<double>& out = activations[l + 1];
-        pre.resize(layer.weights.size());
-        out.resize(layer.weights.size());
-        for (std::size_t j = 0; j < layer.weights.size(); ++j) {
+        double* pre = ws.pres.data() + ws.unit_off[l];
+        double* out = ws.acts.data() + ws.act_off[l + 1];
+        const auto fan_in = static_cast<std::size_t>(layer.fan_in);
+        for (std::size_t j = 0; j < static_cast<std::size_t>(layer.fan_out); ++j) {
             double acc = layer.biases[j];
-            const auto& row = layer.weights[j];
-            for (std::size_t i = 0; i < row.size(); ++i) acc += row[i] * in[i];
+            const double* row = layer.weights.data() + j * fan_in;
+            for (std::size_t i = 0; i < fan_in; ++i) acc += row[i] * in[i];
             pre[j] = acc;
             out[j] = is_output ? acc : activate(acc);  // linear output unit
         }
     }
 }
 
-double MlpNetwork::predict(std::span<const double> inputs) const {
+double MlpNetwork::predict(std::span<const double> inputs,
+                           MlpWorkspace& workspace) const {
     if (inputs.size() != static_cast<std::size_t>(layer_sizes_.front())) {
         throw std::invalid_argument("MlpNetwork::predict: input size mismatch");
     }
-    std::vector<std::vector<double>> acts;
-    std::vector<std::vector<double>> pres;
-    forward(inputs, acts, pres);
-    return acts.back().front();
+    forward(inputs, workspace);
+    return workspace.acts.back();
+}
+
+double MlpNetwork::predict(std::span<const double> inputs) const {
+    MlpWorkspace workspace;
+    return predict(inputs, workspace);
 }
 
 std::size_t MlpNetwork::parameter_count() const {
     std::size_t count = 0;
     for (const Layer& layer : layers_) {
-        for (const auto& row : layer.weights) count += row.size();
-        count += layer.biases.size();
+        count += layer.weights.size() + layer.biases.size();
     }
     return count;
 }
 
 double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
                          std::span<const double> targets,
-                         const MlpTrainOptions& options) {
+                         const MlpTrainOptions& options,
+                         MlpWorkspace* workspace) {
     if (inputs.size() != targets.size()) {
         throw std::invalid_argument("MlpNetwork::train: example count mismatch");
     }
@@ -130,9 +156,9 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
     std::iota(order.begin(), order.end(), 0);
     std::mt19937 shuffle_rng(options.seed);
 
-    std::vector<std::vector<double>> acts;
-    std::vector<std::vector<double>> pres;
-    std::vector<std::vector<double>> deltas(layers_.size());
+    MlpWorkspace local_ws;
+    MlpWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+    ws.ensure(layer_sizes_);
 
     double lr = options.learning_rate;
     double best_val = std::numeric_limits<double>::infinity();
@@ -143,7 +169,7 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
         if (val_count == 0) return 0.0;
         double acc = 0.0;
         for (std::size_t i = train_count; i < inputs.size(); ++i) {
-            const double err = predict(inputs[i]) - targets[i];
+            const double err = predict(inputs[i], ws) - targets[i];
             acc += err * err;
         }
         return acc / static_cast<double>(val_count);
@@ -155,34 +181,41 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
         std::shuffle(order.begin(), order.end(), shuffle_rng);
         double train_loss = 0.0;
         for (std::size_t idx : order) {
-            forward(inputs[idx], acts, pres);
-            const double out = acts.back().front();
+            forward(inputs[idx], ws);
+            const double out = ws.acts.back();
             const double err = out - targets[idx];
             train_loss += err * err;
 
             // Backprop: output delta is plain error (linear output, MSE).
-            deltas.back().assign(1, err);
+            ws.deltas[ws.unit_off.back()] = err;
             for (std::size_t l = layers_.size() - 1; l-- > 0;) {
                 const Layer& next = layers_[l + 1];
-                std::vector<double>& delta = deltas[l];
-                delta.assign(acts[l + 1].size(), 0.0);
-                for (std::size_t j = 0; j < delta.size(); ++j) {
+                double* delta = ws.deltas.data() + ws.unit_off[l];
+                const double* next_delta = ws.deltas.data() + ws.unit_off[l + 1];
+                const double* act = ws.acts.data() + ws.act_off[l + 1];
+                const double* pre = ws.pres.data() + ws.unit_off[l];
+                const auto width = static_cast<std::size_t>(next.fan_in);
+                for (std::size_t j = 0; j < width; ++j) {
                     double acc = 0.0;
-                    for (std::size_t k = 0; k < next.weights.size(); ++k) {
-                        acc += next.weights[k][j] * deltas[l + 1][k];
+                    for (std::size_t k = 0; k < static_cast<std::size_t>(next.fan_out);
+                         ++k) {
+                        acc += next.weights[k * width + j] * next_delta[k];
                     }
-                    delta[j] = acc * activate_grad(acts[l + 1][j], pres[l][j]);
+                    delta[j] = acc * activate_grad(act[j], pre[j]);
                 }
             }
             // SGD + momentum update.
             for (std::size_t l = 0; l < layers_.size(); ++l) {
                 Layer& layer = layers_[l];
-                const std::vector<double>& in = acts[l];
-                for (std::size_t j = 0; j < layer.weights.size(); ++j) {
-                    const double d = deltas[l][j];
-                    auto& row = layer.weights[j];
-                    auto& vel = layer.weight_velocity[j];
-                    for (std::size_t i = 0; i < row.size(); ++i) {
+                const double* in = ws.acts.data() + ws.act_off[l];
+                const double* delta = ws.deltas.data() + ws.unit_off[l];
+                const auto fan_in = static_cast<std::size_t>(layer.fan_in);
+                for (std::size_t j = 0; j < static_cast<std::size_t>(layer.fan_out);
+                     ++j) {
+                    const double d = delta[j];
+                    double* row = layer.weights.data() + j * fan_in;
+                    double* vel = layer.weight_velocity.data() + j * fan_in;
+                    for (std::size_t i = 0; i < fan_in; ++i) {
                         const double grad = d * in[i] + options.weight_decay * row[i];
                         vel[i] = options.momentum * vel[i] - lr * grad;
                         row[i] += vel[i];

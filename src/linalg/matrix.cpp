@@ -216,23 +216,49 @@ QrResult qr_decompose(const Matrix& a) {
 }
 
 std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b) {
-    if (a.rows() != b.size()) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (m != b.size()) {
         throw std::invalid_argument("solve_least_squares: shape mismatch");
     }
-    const QrResult qr = qr_decompose(a);
-    const std::size_t n = a.cols();
-    // x = R⁻¹ Qᵀ b
-    std::vector<double> qtb(n, 0.0);
-    for (std::size_t j = 0; j < n; ++j) {
-        double acc = 0.0;
-        for (std::size_t i = 0; i < a.rows(); ++i) acc += qr.q(i, j) * b[i];
-        qtb[j] = acc;
+    if (m < n) throw std::invalid_argument("solve_least_squares: need m >= n");
+    // Fused implicit-Q Householder: each reflector is applied to the
+    // working copy of A and to the right-hand side in the same sweep, so
+    // the m×m Qᵀ that qr_decompose() accumulates is never materialized.
+    // Same R factor and the same degeneracy guards as qr_decompose;
+    // O(m·n²) work instead of O(m²·(n+m)).
+    Matrix r = a;
+    std::vector<double> qtb(b.begin(), b.end());
+    std::vector<double> v(m, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+        double norm = 0.0;
+        for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-14) continue;
+        const double alpha = r(k, k) >= 0 ? -norm : norm;
+        v[k] = r(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i) v[i] = r(i, k);
+        double vnorm2 = 0.0;
+        for (std::size_t i = k; i < m; ++i) vnorm2 += v[i] * v[i];
+        if (vnorm2 < 1e-28) continue;
+        // Apply H = I - 2 v vᵀ / (vᵀv) to R ...
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0;
+            for (std::size_t i = k; i < m; ++i) s += v[i] * r(i, j);
+            s = 2.0 * s / vnorm2;
+            for (std::size_t i = k; i < m; ++i) r(i, j) -= s * v[i];
+        }
+        // ... and to b, yielding Qᵀb directly.
+        double s = 0.0;
+        for (std::size_t i = k; i < m; ++i) s += v[i] * qtb[i];
+        s = 2.0 * s / vnorm2;
+        for (std::size_t i = k; i < m; ++i) qtb[i] -= s * v[i];
     }
     std::vector<double> x(n, 0.0);
     for (std::size_t ii = n; ii-- > 0;) {
         double acc = qtb[ii];
-        for (std::size_t j = ii + 1; j < n; ++j) acc -= qr.r(ii, j) * x[j];
-        const double diag = qr.r(ii, ii);
+        for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+        const double diag = r(ii, ii);
         // Rank-deficient columns get coefficient 0 (minimal-norm-ish choice)
         // rather than an exception: stepwise regression probes such designs.
         x[ii] = std::abs(diag) < 1e-12 ? 0.0 : acc / diag;

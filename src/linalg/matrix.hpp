@@ -82,8 +82,10 @@ struct QrResult {
 };
 QrResult qr_decompose(const Matrix& a);
 
-/// Least-squares solution of min ||A x - b||² via QR; more numerically
-/// robust than normal equations for ill-conditioned designs.
+/// Least-squares solution of min ||A x - b||² via Householder QR (more
+/// numerically robust than normal equations for ill-conditioned designs).
+/// The reflectors are applied to b in flight — implicit Q, no m×m
+/// temporary — so the cost is O(m·n²) time and O(m·n) space.
 std::vector<double> solve_least_squares(const Matrix& a, std::span<const double> b);
 
 /// Dot product of two equal-length spans.

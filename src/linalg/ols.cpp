@@ -17,6 +17,11 @@ double mean_of(std::span<const double> xs) {
     return acc / static_cast<double>(xs.size());
 }
 
+std::vector<std::span<const double>> as_views(
+    const std::vector<std::vector<double>>& columns) {
+    return {columns.begin(), columns.end()};
+}
+
 }  // namespace
 
 double OlsFit::predict(std::span<const double> predictors) const {
@@ -32,7 +37,7 @@ double OlsFit::predict(std::span<const double> predictors) const {
 }
 
 OlsFit ols_fit(std::span<const double> y,
-               const std::vector<std::vector<double>>& predictors) {
+               std::span<const std::span<const double>> predictors) {
     const std::size_t n = y.size();
     const std::size_t p = predictors.size();
     for (const auto& col : predictors) {
@@ -78,15 +83,21 @@ OlsFit ols_fit(std::span<const double> y,
     return fit;
 }
 
+OlsFit ols_fit(std::span<const double> y,
+               const std::vector<std::vector<double>>& predictors) {
+    return ols_fit(y, as_views(predictors));
+}
+
 std::vector<double> variance_inflation_factors(
-    const std::vector<std::vector<double>>& predictors) {
+    std::span<const std::span<const double>> predictors) {
     constexpr double kMaxVif = 1e9;
     const std::size_t p = predictors.size();
     std::vector<double> vifs(p, 1.0);
     if (p < 2) return vifs;
+    std::vector<std::span<const double>> others;
+    others.reserve(p - 1);
     for (std::size_t j = 0; j < p; ++j) {
-        std::vector<std::vector<double>> others;
-        others.reserve(p - 1);
+        others.clear();
         for (std::size_t k = 0; k < p; ++k) {
             if (k != j) others.push_back(predictors[k]);
         }
@@ -97,15 +108,20 @@ std::vector<double> variance_inflation_factors(
     return vifs;
 }
 
+std::vector<double> variance_inflation_factors(
+    const std::vector<std::vector<double>>& predictors) {
+    return variance_inflation_factors(as_views(predictors));
+}
+
 std::vector<std::size_t> reduce_multicollinearity(
     const std::vector<std::vector<double>>& predictors,
     double vif_threshold, obs::MetricsRegistry* metrics) {
     std::vector<std::size_t> kept(predictors.size());
     for (std::size_t i = 0; i < kept.size(); ++i) kept[i] = i;
 
+    std::vector<std::span<const double>> current;
     while (kept.size() > 1) {
-        std::vector<std::vector<double>> current;
-        current.reserve(kept.size());
+        current.clear();
         for (std::size_t idx : kept) current.push_back(predictors[idx]);
         const std::vector<double> vifs = variance_inflation_factors(current);
         if (metrics != nullptr) {
@@ -129,13 +145,13 @@ std::vector<std::size_t> forward_stepwise(
     std::vector<bool> used(candidates.size(), false);
     double best_adj_r2 = -std::numeric_limits<double>::infinity();
 
+    std::vector<std::span<const double>> trial;
     for (;;) {
         std::size_t best_j = candidates.size();
         double best_candidate_r2 = best_adj_r2;
         for (std::size_t j = 0; j < candidates.size(); ++j) {
             if (used[j]) continue;
-            std::vector<std::vector<double>> trial;
-            trial.reserve(selected.size() + 1);
+            trial.clear();
             for (std::size_t idx : selected) trial.push_back(candidates[idx]);
             trial.push_back(candidates[j]);
             const OlsFit fit = ols_fit(y, trial);

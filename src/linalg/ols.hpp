@@ -43,12 +43,23 @@ struct OlsFit {
 OlsFit ols_fit(std::span<const double> y,
                const std::vector<std::vector<double>>& predictors);
 
+/// Core overload over column *views*: fits against caller-owned storage
+/// without copying any predictor column. The VIF / stepwise drivers below
+/// assemble span lists over the original columns instead of materializing
+/// per-trial copies; the nested-vector overload forwards here.
+OlsFit ols_fit(std::span<const double> y,
+               std::span<const std::span<const double>> predictors);
+
 /// Variance inflation factor for each series in `predictors`: series j is
 /// regressed on all the others and VIF_j = 1 / (1 - R²_j). A VIF above 4
 /// flags multicollinearity (Section III-A Step 2). A lone predictor has
 /// VIF 1. R² of 1 (exact collinearity) maps to a large finite value.
 std::vector<double> variance_inflation_factors(
     const std::vector<std::vector<double>>& predictors);
+
+/// View-based core (see ols_fit span overload).
+std::vector<double> variance_inflation_factors(
+    std::span<const std::span<const double>> predictors);
 
 /// Iteratively removes multicollinear series: while any VIF exceeds
 /// `vif_threshold`, drop the series with the largest VIF (it is best

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::la {
 namespace {
 
@@ -19,6 +21,14 @@ double mean_of(std::span<const double> xs) {
 
 OlsFit ridge_fit(std::span<const double> y,
                  const std::vector<std::vector<double>>& predictors,
+                 double lambda) {
+    std::vector<std::span<const double>> views(predictors.begin(),
+                                               predictors.end());
+    return ridge_fit(y, views, lambda);
+}
+
+OlsFit ridge_fit(std::span<const double> y,
+                 std::span<const std::span<const double>> predictors,
                  double lambda) {
     if (lambda < 0.0) throw std::invalid_argument("ridge_fit: negative lambda");
     const std::size_t n = y.size();
@@ -36,22 +46,34 @@ OlsFit ridge_fit(std::span<const double> y,
     std::vector<double> xbar(p, 0.0);
     for (std::size_t j = 0; j < p; ++j) xbar[j] = mean_of(predictors[j]);
 
+    // Center each column once into a contiguous block (and y alongside)
+    // instead of recomputing (x - xbar) for every (j, k) pair of the Gram
+    // accumulation below — the subtracted values are identical, so the
+    // accumulated sums are bit-for-bit the same.
+    FlatMatrix xc(p, n);
+    std::vector<double> yc(n);
+    for (std::size_t i = 0; i < n; ++i) yc[i] = y[i] - ybar;
+    for (std::size_t j = 0; j < p; ++j) {
+        double* row = xc[j].data();
+        const std::span<const double> col = predictors[j];
+        const double mu = xbar[j];
+        for (std::size_t i = 0; i < n; ++i) row[i] = col[i] - mu;
+    }
+
     Matrix gram(p, p);
     std::vector<double> xty(p, 0.0);
     for (std::size_t j = 0; j < p; ++j) {
+        const double* xj = xc[j].data();
         for (std::size_t k = j; k < p; ++k) {
+            const double* xk = xc[k].data();
             double acc = 0.0;
-            for (std::size_t i = 0; i < n; ++i) {
-                acc += (predictors[j][i] - xbar[j]) * (predictors[k][i] - xbar[k]);
-            }
+            for (std::size_t i = 0; i < n; ++i) acc += xj[i] * xk[i];
             gram(j, k) = acc;
             gram(k, j) = acc;
         }
         gram(j, j) += lambda;
         double acc = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            acc += (predictors[j][i] - xbar[j]) * (y[i] - ybar);
-        }
+        for (std::size_t i = 0; i < n; ++i) acc += xj[i] * yc[i];
         xty[j] = acc;
     }
 
@@ -111,10 +133,10 @@ double select_ridge_lambda(std::span<const double> y,
         throw std::invalid_argument("select_ridge_lambda: series too short");
     }
 
-    std::vector<std::vector<double>> train_x(predictors.size());
+    // Train columns are prefixes of the originals — view them, don't copy.
+    std::vector<std::span<const double>> train_x(predictors.size());
     for (std::size_t j = 0; j < predictors.size(); ++j) {
-        train_x[j].assign(predictors[j].begin(),
-                          predictors[j].begin() + static_cast<std::ptrdiff_t>(train_n));
+        train_x[j] = std::span<const double>(predictors[j]).subspan(0, train_n);
     }
     const std::span<const double> train_y = y.subspan(0, train_n);
 

@@ -22,6 +22,14 @@ OlsFit ridge_fit(std::span<const double> y,
                  const std::vector<std::vector<double>>& predictors,
                  double lambda);
 
+/// Core overload over column views (no copies of predictor columns; the
+/// nested-vector overload forwards here). Columns are centered once into
+/// one contiguous block, and the Gram matrix XcᵀXc and Xcᵀyc are
+/// accumulated straight from it — no transposed()/product temporaries.
+OlsFit ridge_fit(std::span<const double> y,
+                 std::span<const std::span<const double>> predictors,
+                 double lambda);
+
 /// Leave-future-out lambda selection: fits on the first
 /// `1 - holdout_fraction` of samples for each lambda in `candidates` and
 /// returns the lambda with the lowest mean squared error on the held-out

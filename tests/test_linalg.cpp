@@ -177,7 +177,7 @@ TEST(OlsTest, RecoversLinearModel) {
 
 TEST(OlsTest, InterceptOnlyFitsMean) {
     const std::vector<double> y{1, 2, 3, 4};
-    const OlsFit fit = ols_fit(y, {});
+    const OlsFit fit = ols_fit(y, std::vector<std::vector<double>>{});
     EXPECT_NEAR(fit.coefficients[0], 2.5, 1e-12);
     EXPECT_NEAR(fit.r_squared, 0.0, 1e-12);
 }

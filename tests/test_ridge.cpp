@@ -65,7 +65,7 @@ TEST(RidgeTest, InterceptNotPenalized) {
 TEST(RidgeTest, ValidationErrors) {
     const std::vector<double> y{1, 2, 3};
     EXPECT_THROW(ridge_fit(y, {{1, 2}}, 1.0), std::invalid_argument);
-    EXPECT_THROW(ridge_fit(y, {}, -1.0), std::invalid_argument);
+    EXPECT_THROW(ridge_fit(y, std::vector<std::vector<double>>{}, -1.0), std::invalid_argument);
 }
 
 TEST(RidgeSelectTest, PrefersSmallLambdaOnCleanData) {

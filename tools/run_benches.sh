@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Regenerates the two bench JSON artifacts (schema atm.bench.v1):
+#   BENCH_kernels.json — google-benchmark microbench suite (bench_perf_micro)
+#   BENCH_fleet.json   — fleet-executor scaling rows (bench_fleet_scaling)
+#
+# Usage: tools/run_benches.sh [build-dir] [out-dir]
+#   build-dir  defaults to ./build (must already be configured; a Release
+#              build gives the numbers quoted in README/DESIGN)
+#   out-dir    defaults to the current directory
+#
+# Knobs (forwarded to the benches):
+#   ATM_BENCH_MIN_TIME  --benchmark_min_time value (default 0.05; newer
+#                       google-benchmark also accepts suffixed forms
+#                       like 0.01s)
+#   ATM_BOXES / ATM_MAX_JOBS / ATM_SEED  fleet-scaling scale knobs
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+MIN_TIME="${ATM_BENCH_MIN_TIME:-0.05}"
+mkdir -p "$OUT_DIR"
+
+cmake --build "$BUILD_DIR" --target bench_perf_micro bench_fleet_scaling
+
+"$BUILD_DIR/bench/bench_perf_micro" \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_out="$OUT_DIR/BENCH_kernels.json" \
+    --benchmark_out_format=json
+
+ATM_BENCH_JSON="$OUT_DIR/BENCH_fleet.json" "$BUILD_DIR/bench/bench_fleet_scaling"
+
+echo "bench artifacts:"
+ls -l "$OUT_DIR/BENCH_kernels.json" "$OUT_DIR/BENCH_fleet.json"
