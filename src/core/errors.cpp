@@ -1,0 +1,24 @@
+#include "core/errors.hpp"
+
+namespace atm::core {
+
+const char* to_string(PipelineErrorCode code) {
+    switch (code) {
+        case PipelineErrorCode::kNone: return "none";
+        case PipelineErrorCode::kTraceInvalid: return "trace-invalid";
+        case PipelineErrorCode::kRepairFailed: return "repair-failed";
+        case PipelineErrorCode::kSearchDegenerate: return "search-degenerate";
+        case PipelineErrorCode::kModelFitFailed: return "model-fit-failed";
+        case PipelineErrorCode::kSolverSingular: return "solver-singular";
+        case PipelineErrorCode::kResizeInfeasible: return "resize-infeasible";
+        case PipelineErrorCode::kFaultInjected: return "fault-injected";
+        case PipelineErrorCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string error_counter_name(PipelineErrorCode code) {
+    return std::string("robust.error.") + to_string(code);
+}
+
+}  // namespace atm::core

@@ -56,6 +56,7 @@ void aggregate(const FleetConfig& config, FleetResult& fleet) {
     for (const FleetBoxResult& b : fleet.boxes) {
         if (!b.error.empty()) {
             ++fleet.boxes_failed;
+            ++fleet.failures_by_code[b.error_code];
             continue;
         }
         ++evaluated;
@@ -111,9 +112,29 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
         slot.box_index = box_index;
         slot.box_name = trace.boxes[static_cast<std::size_t>(box_index)].name;
         try {
+            const exec::FaultContext fault{
+                config.faults.empty() ? nullptr : &config.faults,
+                static_cast<std::uint64_t>(box_index)};
+            ATM_FAULT_SITE(fault, "fleet.box");
             evaluate_box(box_index, pool.get(), slot.result);
+        } catch (const PipelineError& e) {
+            slot.error = e.what();
+            slot.error_code = e.code();
+            slot.error_stage = e.stage();
+        } catch (const exec::InjectedFault& e) {
+            slot.error = e.what();
+            slot.error_code = PipelineErrorCode::kFaultInjected;
+            slot.error_stage = e.site();
+        } catch (const std::invalid_argument& e) {
+            // Precondition violations from lower layers (shape mismatches,
+            // out-of-range days) mean the box's input was unusable.
+            slot.error = e.what();
+            slot.error_code = PipelineErrorCode::kTraceInvalid;
+            slot.error_stage = "input";
         } catch (const std::exception& e) {
             slot.error = e.what();
+            slot.error_code = PipelineErrorCode::kInternal;
+            slot.error_stage = "unknown";
         }
     });
 
@@ -122,6 +143,14 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
         // Trace order, so the fleet merge is independent of scheduling.
         for (const FleetBoxResult& b : fleet.boxes) {
             if (b.error.empty()) fleet.metrics.merge(b.result.metrics);
+        }
+        // Structured failure counters, also in trace order. These only
+        // exist when a box failed, so the clean golden run's counter set
+        // is unchanged.
+        for (const FleetBoxResult& b : fleet.boxes) {
+            if (!b.error.empty()) {
+                fleet.metrics.counters[error_counter_name(b.error_code)] += 1;
+            }
         }
     }
     fleet.wall_seconds =
@@ -138,15 +167,20 @@ std::string FleetConfig::validate() const {
         if (!problems.empty()) problems += "; ";
         problems += p;
     };
-    if (pipeline.alpha <= 0.0 || pipeline.alpha >= 1.0) {
-        add("alpha must be in (0, 1), got " + std::to_string(pipeline.alpha));
+    if (pipeline.alpha <= 0.0 || pipeline.alpha > 1.0) {
+        add("alpha must be in (0, 1], got " + std::to_string(pipeline.alpha));
     }
     if (pipeline.train_days < 1) {
         add("train_days must be >= 1, got " + std::to_string(pipeline.train_days));
     }
-    if (pipeline.epsilon_pct < 0.0) {
-        add("epsilon_pct must be >= 0 (0 disables discretization), got " +
+    if (pipeline.epsilon_pct < 0.0 || pipeline.epsilon_pct >= 100.0) {
+        add("epsilon_pct must be in [0, 100) (0 disables discretization), got " +
             std::to_string(pipeline.epsilon_pct));
+    }
+    if (pipeline.max_bad_sample_fraction < 0.0 ||
+        pipeline.max_bad_sample_fraction > 1.0) {
+        add("max_bad_sample_fraction must be in [0, 1], got " +
+            std::to_string(pipeline.max_bad_sample_fraction));
     }
     if (jobs < 0) {
         add("jobs must be >= 0 (0 = hardware concurrency), got " +
@@ -155,8 +189,38 @@ std::string FleetConfig::validate() const {
     return problems;
 }
 
+std::string FleetConfig::validate(const trace::Trace& trace) const {
+    std::string problems = validate();
+    const auto add = [&problems](const std::string& p) {
+        if (!problems.empty()) problems += "; ";
+        problems += p;
+    };
+    // The pipeline needs train_days of history plus one evaluation day.
+    // Check against the longest box: short boxes still fail individually
+    // with kTraceInvalid, but a train window no box can satisfy is a
+    // configuration error, not a data problem.
+    std::size_t longest = 0;
+    for (const trace::BoxTrace& box : trace.boxes) {
+        longest = std::max(longest, box.length());
+    }
+    const std::size_t needed =
+        (static_cast<std::size_t>(std::max(pipeline.train_days, 1)) + 1) *
+        static_cast<std::size_t>(trace.windows_per_day);
+    if (!trace.boxes.empty() && longest < needed) {
+        add("train_days = " + std::to_string(pipeline.train_days) + " needs " +
+            std::to_string(needed) + " windows per box but the longest box has " +
+            std::to_string(longest));
+    }
+    return problems;
+}
+
 FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
                                   const FleetConfig& config) {
+    // The trace-aware overload additionally checks that the train window
+    // fits; evaluate_resize_on_fleet skips it (it never trains).
+    if (const std::string problems = config.validate(trace); !problems.empty()) {
+        throw std::invalid_argument("FleetConfig: " + problems);
+    }
     return run_fleet(
         trace, config,
         [&trace, &config](int box_index, exec::ThreadPool* pool,
@@ -178,9 +242,41 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
                 registry.emplace();
                 box_config.metrics = &*registry;
             }
-            out = run_pipeline_on_box(
-                trace.boxes[static_cast<std::size_t>(box_index)],
-                trace.windows_per_day, box_config, config.policies);
+            const trace::BoxTrace* box =
+                &trace.boxes[static_cast<std::size_t>(box_index)];
+            const exec::FaultContext fault{
+                config.faults.empty() ? nullptr : &config.faults,
+                static_cast<std::uint64_t>(box_index)};
+            box_config.fault = fault;
+            // Data faults mutate the trace, so the box is copied first —
+            // only when a corruption/truncation rule is actually armed.
+            trace::BoxTrace corrupted;
+            if (fault.plan != nullptr && fault.plan->has_data_faults()) {
+                corrupted = *box;
+                const std::size_t keep = fault.truncated_length(corrupted.length());
+                std::uint64_t corrupted_samples = 0;
+                for (std::size_t v = 0; v < corrupted.vms.size(); ++v) {
+                    trace::VmTrace& vm = corrupted.vms[v];
+                    for (ts::Series* s :
+                         {&vm.cpu_usage_pct, &vm.ram_usage_pct,
+                          &vm.cpu_demand_ghz, &vm.ram_demand_gb}) {
+                        if (keep < s->size()) s->values().resize(keep);
+                    }
+                    // Streams 2v / 2v+1: one independent corruption stream
+                    // per demand series, stable under scheduling.
+                    corrupted_samples += fault.corrupt_samples(
+                        vm.cpu_demand_ghz.values(), 2 * v);
+                    corrupted_samples += fault.corrupt_samples(
+                        vm.ram_demand_gb.values(), 2 * v + 1);
+                }
+                if (registry && corrupted_samples > 0) {
+                    registry->add("robust.fault.samples_corrupted",
+                                  corrupted_samples);
+                }
+                box = &corrupted;
+            }
+            out = run_pipeline_on_box(*box, trace.windows_per_day, box_config,
+                                      config.policies);
         });
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -43,9 +44,21 @@ struct FleetConfig {
     /// then runs with a null registry at near-zero overhead.
     bool collect_metrics = false;
 
+    /// Chaos-testing plan (see exec/fault.hpp): corrupts/truncates box
+    /// traces and arms the ATM_FAULT_SITE throw points, all derived from
+    /// (faults.seed, box index, site) so a chaos run is bit-identical for
+    /// every `jobs` value. Empty (the default) disables injection
+    /// entirely. Parse a CLI `--fault-spec` with exec::FaultPlan::parse.
+    exec::FaultPlan faults;
+
     /// Empty string when the configuration is usable; otherwise a
     /// human-readable description of every out-of-range value.
     [[nodiscard]] std::string validate() const;
+
+    /// Same, plus trace-dependent checks: `train_days` + the evaluation
+    /// day must fit in the longest box. Used by run_pipeline_on_fleet
+    /// (evaluate_resize_on_fleet never trains, so it skips this).
+    [[nodiscard]] std::string validate(const trace::Trace& trace) const;
 };
 
 /// Outcome of one box inside a fleet run.
@@ -58,6 +71,13 @@ struct FleetBoxResult {
     /// Non-empty if the box's pipeline threw; `result` is then empty and
     /// the box is excluded from the aggregates below.
     std::string error;
+    /// Structured failure taxonomy alongside the message: kNone while the
+    /// box succeeded; PipelineError's own code for classified failures;
+    /// kFaultInjected for exec::InjectedFault; kInternal for anything the
+    /// taxonomy does not know.
+    PipelineErrorCode error_code = PipelineErrorCode::kNone;
+    /// Stage (or fault site) the failure came from; empty on success.
+    std::string error_stage;
 };
 
 /// Fleet-level outcome: per-box results plus cross-box aggregates.
@@ -71,6 +91,11 @@ struct FleetResult {
     std::size_t boxes_skipped = 0;
     /// Boxes whose pipeline threw (subset of `boxes`).
     std::size_t boxes_failed = 0;
+    /// Failed boxes bucketed by taxonomy code (empty when none failed).
+    /// When `collect_metrics` is on, the same counts land in
+    /// FleetResult::metrics as `robust.error.<code>` counters, merged in
+    /// trace order.
+    std::map<PipelineErrorCode, std::size_t> failures_by_code;
 
     /// Fleet-wide ticket sums per policy, same order as
     /// FleetConfig::policies: cpu/ram before and after summed over every

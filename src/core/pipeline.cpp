@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "timeseries/repair.hpp"
 #include "timeseries/stats.hpp"
 
 namespace atm::core {
@@ -16,6 +19,31 @@ double series_capacity(const trace::BoxTrace& box, std::size_t flat) {
     return box.vms[static_cast<std::size_t>(id.vm_index)].capacity(id.resource);
 }
 
+/// Records one fired rung of the degradation ladder: an entry in the box
+/// result plus a `robust.fallback.<stage>` counter. Nothing here runs on
+/// the clean path, so the golden run's counter set is untouched.
+void note_degradation(BoxPipelineResult& result, obs::MetricsRegistry* metrics,
+                      PipelineErrorCode code, std::string stage,
+                      std::string detail) {
+    if (metrics != nullptr) metrics->add("robust.fallback." + stage, 1);
+    result.degradations.push_back(
+        Degradation{code, std::move(stage), std::move(detail)});
+}
+
+/// Classifies an in-flight exception for degradation bookkeeping:
+/// injected faults and PipelineErrors keep their own code; anything else
+/// gets the rung's default code.
+PipelineErrorCode classify_current(const std::exception& e,
+                                   PipelineErrorCode fallback_code) {
+    if (dynamic_cast<const exec::InjectedFault*>(&e) != nullptr) {
+        return PipelineErrorCode::kFaultInjected;
+    }
+    if (const auto* pe = dynamic_cast<const PipelineError*>(&e)) {
+        return pe->code();
+    }
+    return fallback_code;
+}
+
 /// Resize policies evaluated for one resource kind, given the demand
 /// series the policy *sees* (predicted or actual) and the actual demands
 /// used for ticket accounting.
@@ -25,7 +53,9 @@ void run_policies_for_kind(
     const std::vector<std::vector<double>>& actual_demands,
     const std::vector<double>& lower_bounds, double alpha, double epsilon_pct,
     const std::vector<resize::ResizePolicy>& policies,
-    std::vector<PolicyTickets>& results, obs::MetricsRegistry* metrics) {
+    std::vector<PolicyTickets>& results, obs::MetricsRegistry* metrics,
+    const exec::FaultContext& fault,
+    std::vector<Degradation>* degradations) {
     const std::size_t m = box.vms.size();
 
     resize::ResizeInput input;
@@ -55,7 +85,40 @@ void run_policies_for_kind(
     for (std::size_t p = 0; p < policies.size(); ++p) {
         obs::ScopedTimer policy_timer(
             metrics, "resize.policy." + resize::to_string(policies[p]));
-        const resize::ResizeResult r = resize::apply_policy(policies[p], input);
+        // The ATM policies optimize against a capacity budget and can come
+        // back infeasible (lower bounds alone exceed C) or be killed by an
+        // injected fault; both degrade to the always-feasible max-min
+        // water-filling. The baselines have no budget to violate, so their
+        // (informational) feasible flag is passed through untouched.
+        const bool is_atm =
+            policies[p] == resize::ResizePolicy::kAtmGreedy ||
+            policies[p] == resize::ResizePolicy::kAtmGreedyNoDiscretization;
+        resize::ResizeResult r;
+        PipelineErrorCode degrade_code = PipelineErrorCode::kNone;
+        std::string degrade_detail;
+        try {
+            if (is_atm) ATM_FAULT_SITE(fault, "resize.mckp");
+            r = resize::apply_policy(policies[p], input);
+            if (is_atm && !r.feasible) {
+                degrade_code = PipelineErrorCode::kResizeInfeasible;
+                degrade_detail = resize::to_string(policies[p]) +
+                                 " infeasible under capacity budget";
+            }
+        } catch (const std::exception& e) {
+            degrade_code =
+                classify_current(e, PipelineErrorCode::kResizeInfeasible);
+            degrade_detail =
+                resize::to_string(policies[p]) + " threw: " + e.what();
+        }
+        if (degrade_code != PipelineErrorCode::kNone) {
+            r = resize::max_min_fairness_resize(input);
+            if (metrics != nullptr) metrics->add("robust.fallback.resize", 1);
+            if (degradations != nullptr) {
+                degradations->push_back(Degradation{
+                    degrade_code, "resize",
+                    degrade_detail + "; fell back to max-min fairness"});
+            }
+        }
         policy_timer.stop();
         const int after =
             resize::tickets_for_allocation(actual_demands, r.capacities, alpha);
@@ -80,15 +143,99 @@ const std::vector<resize::ResizePolicy>& default_policies() {
 BoxPipelineResult run_pipeline_on_box(
     const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
     const std::vector<resize::ResizePolicy>& policies) {
-    if (box.vms.empty()) throw std::invalid_argument("run_pipeline_on_box: empty box");
+    ATM_FAULT_SITE(config.fault, "pipeline.start");
+    if (box.vms.empty()) {
+        throw PipelineError(PipelineErrorCode::kTraceInvalid, "input",
+                            "run_pipeline_on_box: empty box");
+    }
     const auto wpd = static_cast<std::size_t>(windows_per_day);
     const std::size_t train_len = static_cast<std::size_t>(config.train_days) * wpd;
     if (box.length() < train_len + wpd) {
-        throw std::invalid_argument("run_pipeline_on_box: trace too short for config");
+        throw PipelineError(PipelineErrorCode::kTraceInvalid, "input",
+                            "run_pipeline_on_box: trace too short for config");
     }
 
-    const std::vector<std::vector<double>> demands = box.demand_matrix();
+    std::vector<std::vector<double>> demands = box.demand_matrix();
     const std::vector<int> scope = scope_indices(demands.size(), config.scope);
+
+    BoxPipelineResult result;
+    obs::MetricsRegistry* metrics = config.metrics;
+
+    // --- input sanitization (ladder rung 1) ----------------------------------
+    // Real monitoring exports carry NaN/Inf/negative samples. Count them
+    // over the scoped demand matrix; past the configured fraction the box
+    // is not trustworthy and is rejected, otherwise bad samples are zeroed
+    // and gap-repaired so every later stage sees finite, non-negative data.
+    {
+        ATM_FAULT_SITE(config.fault, "pipeline.sanitize");
+        std::size_t total_samples = 0;
+        std::size_t bad_samples = 0;
+        for (int idx : scope) {
+            const auto& row = demands[static_cast<std::size_t>(idx)];
+            total_samples += row.size();
+            for (const double x : row) {
+                if (!std::isfinite(x) || x < 0.0) ++bad_samples;
+            }
+        }
+        if (bad_samples > 0) {
+            obs::ScopedTimer timer(metrics, "stage.sanitize");
+            if (static_cast<double>(bad_samples) >
+                config.max_bad_sample_fraction *
+                    static_cast<double>(total_samples)) {
+                throw PipelineError(
+                    PipelineErrorCode::kTraceInvalid, "sanitize",
+                    std::to_string(bad_samples) + " of " +
+                        std::to_string(total_samples) +
+                        " scoped demand samples are non-finite or negative "
+                        "(max_bad_sample_fraction exceeded)");
+            }
+            std::size_t repaired_series = 0;
+            for (int idx : scope) {
+                auto& row = demands[static_cast<std::size_t>(idx)];
+                // Explicit bad-sample runs (length >= 1): find_gaps's
+                // default min_run of 2 deliberately ignores isolated
+                // zero-ish samples, but a corrupted sample must be repaired
+                // even when isolated.
+                std::vector<ts::Gap> gaps;
+                std::size_t row_bad = 0;
+                for (std::size_t t = 0; t < row.size(); ++t) {
+                    if (std::isfinite(row[t]) && row[t] >= 0.0) continue;
+                    row[t] = 0.0;
+                    ++row_bad;
+                    if (!gaps.empty() &&
+                        gaps.back().first + gaps.back().length == t) {
+                        ++gaps.back().length;
+                    } else {
+                        gaps.push_back(ts::Gap{t, 1});
+                    }
+                }
+                if (gaps.empty()) continue;
+                row = ts::repair_gaps(row, gaps, ts::RepairMethod::kSeasonal,
+                                      windows_per_day);
+                if (row_bad == row.size()) {
+                    note_degradation(result, metrics,
+                                     PipelineErrorCode::kRepairFailed,
+                                     "sanitize",
+                                     "series " + std::to_string(idx) +
+                                         " had no valid sample; pinned to "
+                                         "flat zeros");
+                } else {
+                    ++repaired_series;
+                }
+            }
+            if (metrics != nullptr) {
+                metrics->add("robust.sanitize.bad_samples", bad_samples);
+            }
+            if (repaired_series > 0) {
+                note_degradation(result, metrics,
+                                 PipelineErrorCode::kTraceInvalid, "sanitize",
+                                 "repaired " + std::to_string(bad_samples) +
+                                     " bad samples across " +
+                                     std::to_string(repaired_series) +
+                                     " series");
+            }
+        }
+    }
 
     std::vector<std::vector<double>> scoped_train;
     scoped_train.reserve(scope.size());
@@ -98,20 +245,69 @@ BoxPipelineResult run_pipeline_on_box(
                                   row.begin() + static_cast<std::ptrdiff_t>(train_len));
     }
 
-    BoxPipelineResult result;
-    obs::MetricsRegistry* metrics = config.metrics;
+    // All-signature fallback shared by the search and spatial rungs: with
+    // every scoped series a signature there are no dependents, so neither
+    // clustering nor regression can fail.
+    const auto all_signatures = [&scoped_train] {
+        std::vector<int> all(scoped_train.size());
+        std::iota(all.begin(), all.end(), 0);
+        return all;
+    };
 
     // --- signature search + spatial model on the training window -----------
     {
         obs::ScopedTimer timer(metrics, "stage.search");
+        ATM_FAULT_SITE(config.fault, "pipeline.search");
         SignatureSearchOptions search = config.search;
         search.metrics = metrics;
-        result.search = find_signatures(scoped_train, search);
+        try {
+            ATM_FAULT_SITE(config.fault, "search.step1");
+            result.search = find_signatures(scoped_train, search);
+            if (result.search.signatures.empty()) {
+                throw PipelineError(PipelineErrorCode::kSearchDegenerate,
+                                    "search", "empty signature set");
+            }
+            if (!std::isfinite(result.search.silhouette)) {
+                throw PipelineError(PipelineErrorCode::kSearchDegenerate,
+                                    "search", "silhouette undefined");
+            }
+        } catch (const std::exception& e) {
+            const PipelineErrorCode code =
+                classify_current(e, PipelineErrorCode::kSearchDegenerate);
+            result.search = SignatureSearchResult{};
+            result.search.signatures = all_signatures();
+            result.search.initial_signatures = result.search.signatures;
+            result.search.num_clusters =
+                static_cast<int>(result.search.signatures.size());
+            note_degradation(result, metrics, code, "search",
+                             std::string(e.what()) +
+                                 "; fell back to the all-signature set");
+        }
     }
     SpatialModel spatial;
     {
         obs::ScopedTimer timer(metrics, "stage.spatial_fit");
-        spatial.fit(scoped_train, result.search.signatures);
+        ATM_FAULT_SITE(config.fault, "pipeline.spatial");
+        try {
+            ATM_FAULT_SITE(config.fault, "spatial.ols");
+            spatial.fit(scoped_train, result.search.signatures);
+            if (spatial.ridge_fallbacks() > 0) {
+                note_degradation(result, metrics,
+                                 PipelineErrorCode::kSolverSingular, "spatial",
+                                 std::to_string(spatial.ridge_fallbacks()) +
+                                     " dependent series refit with ridge");
+            }
+        } catch (const std::exception& e) {
+            // Even ridge failed (or a fault fired): collapse to the
+            // all-signature set, which has no regressions left to solve.
+            const PipelineErrorCode code =
+                classify_current(e, PipelineErrorCode::kSolverSingular);
+            result.search.signatures = all_signatures();
+            spatial.fit(scoped_train, result.search.signatures);
+            note_degradation(result, metrics, code, "spatial",
+                             std::string(e.what()) +
+                                 "; fell back to the all-signature set");
+        }
     }
 
     // --- temporal forecasts for the signature series -------------------------
@@ -119,22 +315,78 @@ BoxPipelineResult run_pipeline_on_box(
     signature_forecasts.reserve(spatial.signature_indices().size());
     {
         obs::ScopedTimer timer(metrics, "stage.forecast");
-        const std::string model_name = forecast::to_string(config.temporal);
-        for (int s : spatial.signature_indices()) {
+        ATM_FAULT_SITE(config.fault, "pipeline.forecast");
+        const auto fit_and_forecast = [&](forecast::TemporalModel model,
+                                          int s) -> std::vector<double> {
+            const std::string model_name = forecast::to_string(model);
             auto forecaster = forecast::make_forecaster(
-                config.temporal, windows_per_day,
-                config.seed + static_cast<unsigned>(s), metrics);
+                model, windows_per_day, config.seed + static_cast<unsigned>(s),
+                metrics);
             {
                 obs::ScopedTimer fit_timer(metrics, "forecast.fit." + model_name);
                 forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);
             }
             obs::ScopedTimer predict_timer(metrics,
                                            "forecast.predict." + model_name);
-            signature_forecasts.push_back(forecaster->forecast(windows_per_day));
+            std::vector<double> values = forecaster->forecast(windows_per_day);
+            for (const double v : values) {
+                if (!std::isfinite(v)) {
+                    throw PipelineError(PipelineErrorCode::kModelFitFailed,
+                                        "forecast",
+                                        "non-finite forecast from " + model_name);
+                }
+            }
+            return values;
+        };
+        // Per-signature model ladder: the configured model, then AR, then
+        // seasonal-naive (which cannot fail on finite input). Only the
+        // primary attempt carries a fault site — the fallbacks are the
+        // recovery path under test.
+        const forecast::TemporalModel ladder[] = {
+            config.temporal, forecast::TemporalModel::kAutoregressive,
+            forecast::TemporalModel::kSeasonalNaive};
+        for (int s : spatial.signature_indices()) {
+            std::vector<double> values;
+            bool done = false;
+            PipelineErrorCode first_code = PipelineErrorCode::kNone;
+            std::string first_error;
+            for (std::size_t a = 0; a < std::size(ladder) && !done; ++a) {
+                bool already_tried = false;
+                for (std::size_t b = 0; b < a; ++b) {
+                    if (ladder[b] == ladder[a]) already_tried = true;
+                }
+                if (already_tried) continue;
+                try {
+                    if (a == 0) ATM_FAULT_SITE(config.fault, "forecast.fit");
+                    values = fit_and_forecast(ladder[a], s);
+                    done = true;
+                    if (a > 0) {
+                        note_degradation(
+                            result, metrics, first_code, "forecast",
+                            "signature " + std::to_string(s) + ": " +
+                                first_error + "; fell back to " +
+                                forecast::to_string(ladder[a]));
+                    }
+                } catch (const std::exception& e) {
+                    if (first_code == PipelineErrorCode::kNone) {
+                        first_code = classify_current(
+                            e, PipelineErrorCode::kModelFitFailed);
+                        first_error = e.what();
+                    }
+                }
+            }
+            if (!done) {
+                throw PipelineError(PipelineErrorCode::kModelFitFailed,
+                                    "forecast",
+                                    "every temporal model failed for signature " +
+                                        std::to_string(s) + ": " + first_error);
+            }
+            signature_forecasts.push_back(std::move(values));
         }
     }
 
     // --- spatial reconstruction of every scoped series -----------------------
+    ATM_FAULT_SITE(config.fault, "pipeline.reconstruct");
     obs::ScopedTimer reconstruct_timer(metrics, "stage.reconstruct");
     const std::vector<std::vector<double>> scoped_pred =
         spatial.reconstruct(signature_forecasts);
@@ -147,6 +399,7 @@ BoxPipelineResult run_pipeline_on_box(
     reconstruct_timer.stop();
 
     // --- prediction accuracy on the evaluation day ---------------------------
+    ATM_FAULT_SITE(config.fault, "pipeline.accuracy");
     obs::ScopedTimer accuracy_timer(metrics, "stage.accuracy");
     double ape_sum = 0.0;
     std::size_t ape_count = 0;
@@ -164,6 +417,7 @@ BoxPipelineResult run_pipeline_on_box(
             const double actual = actual_row[train_len + t];
             if (std::abs(actual) < 1e-9) continue;
             const double err = std::abs(actual - pred[t]) / std::abs(actual);
+            if (!std::isfinite(err)) continue;  // belt-and-braces post-ladder
             series_sum += err;
             ++series_n;
             if (actual > peak_level) {
@@ -192,6 +446,7 @@ BoxPipelineResult run_pipeline_on_box(
         result.policies[p].policy = policies[p];
     }
 
+    ATM_FAULT_SITE(config.fault, "pipeline.resize");
     obs::ScopedTimer resize_timer(metrics, "stage.resize");
     const std::size_t m = box.vms.size();
     for (ts::ResourceKind kind : {ts::ResourceKind::kCpu, ts::ResourceKind::kRam}) {
@@ -227,7 +482,8 @@ BoxPipelineResult run_pipeline_on_box(
         }
         run_policies_for_kind(box, kind, policy_demands, actual_eval, lower_bounds,
                               config.alpha, config.epsilon_pct, policies,
-                              result.policies, metrics);
+                              result.policies, metrics, config.fault,
+                              &result.degradations);
     }
     resize_timer.stop();
     if (metrics != nullptr) result.metrics = metrics->snapshot();
@@ -239,12 +495,14 @@ std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
     double epsilon_pct, const std::vector<resize::ResizePolicy>& policies,
     bool use_lower_bounds, obs::MetricsRegistry* metrics) {
     if (box.vms.empty()) {
-        throw std::invalid_argument("evaluate_resize_policies_on_actuals: empty box");
+        throw PipelineError(PipelineErrorCode::kTraceInvalid, "input",
+                            "evaluate_resize_policies_on_actuals: empty box");
     }
     const auto wpd = static_cast<std::size_t>(windows_per_day);
     const std::size_t first = static_cast<std::size_t>(day) * wpd;
     if (box.length() < first + wpd) {
-        throw std::invalid_argument("evaluate_resize_policies_on_actuals: day out of range");
+        throw PipelineError(PipelineErrorCode::kTraceInvalid, "input",
+                            "evaluate_resize_policies_on_actuals: day out of range");
     }
 
     const std::vector<std::vector<double>> demands = box.demand_matrix();
@@ -274,7 +532,8 @@ std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
             }
         }
         run_policies_for_kind(box, kind, day_demands, day_demands, lower_bounds,
-                              alpha, epsilon_pct, policies, results, metrics);
+                              alpha, epsilon_pct, policies, results, metrics,
+                              exec::FaultContext{}, nullptr);
     }
     return results;
 }

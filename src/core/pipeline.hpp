@@ -2,8 +2,10 @@
 
 #include <vector>
 
+#include "core/errors.hpp"
 #include "core/signature_search.hpp"
 #include "core/spatial_model.hpp"
+#include "exec/fault.hpp"
 #include "forecast/forecaster.hpp"
 #include "obs/metrics.hpp"
 #include "resize/policies.hpp"
@@ -34,6 +36,15 @@ struct PipelineConfig {
     /// Restrict the model to a resource subset (Fig. 7 ablation).
     ResourceScope scope = ResourceScope::kInter;
     unsigned seed = 42;
+    /// Sanitization threshold: a box whose scoped demand matrix contains
+    /// more than this fraction of bad samples (non-finite or negative) is
+    /// rejected with PipelineErrorCode::kTraceInvalid; at or below it, bad
+    /// samples are repaired in place (ts::repair_gaps) and the box
+    /// continues with a `degradations` entry. Must be in [0, 1].
+    double max_bad_sample_fraction = 0.5;
+    /// Chaos-testing context (see exec/fault.hpp). Default (null plan) is
+    /// inert: every ATM_FAULT_SITE reduces to one pointer test.
+    exec::FaultContext fault;
     /// Optional stage-metrics sink (not owned). When set, the pipeline
     /// records per-stage timers (`stage.search`, `stage.spatial_fit`,
     /// `stage.forecast`, `stage.reconstruct`, `stage.accuracy`,
@@ -80,6 +91,11 @@ struct BoxPipelineResult {
     std::vector<std::vector<double>> predicted_demands;
     /// One entry per evaluated policy.
     std::vector<PolicyTickets> policies;
+    /// Graceful-degradation ladder rungs that fired for this box, in stage
+    /// order (empty on the clean path). A box with degradations still
+    /// counts in fleet aggregates; each entry is also counted under the
+    /// `robust.fallback.<stage>` metric.
+    std::vector<Degradation> degradations;
     /// Snapshot of PipelineConfig::metrics taken when the pipeline ends;
     /// empty when no registry was attached.
     obs::MetricsSnapshot metrics;
@@ -96,6 +112,13 @@ const std::vector<resize::ResizePolicy>& default_policies();
 /// under each of `policies`. Prediction-driven policies decide capacities
 /// from the *predicted* demands; tickets before/after are both counted on
 /// the *actual* evaluation-day demands.
+///
+/// Failure behavior (DESIGN.md §7.11): malformed input is sanitized or the
+/// box is rejected with PipelineError(kTraceInvalid); recoverable stage
+/// failures (degenerate clustering, singular OLS, diverging temporal
+/// model, infeasible MCKP) engage per-stage fallbacks recorded in
+/// BoxPipelineResult::degradations; anything unrecoverable throws
+/// PipelineError carrying the taxonomy code and stage.
 ///
 /// Fleet-scale callers should prefer `run_pipeline_on_fleet` (core/fleet.hpp),
 /// which schedules this per box on a thread pool with per-box seeds.

@@ -1,11 +1,28 @@
 #include "core/spatial_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "core/errors.hpp"
+#include "linalg/ridge.hpp"
 #include "timeseries/stats.hpp"
 
 namespace atm::core {
+namespace {
+
+bool all_finite(const std::vector<double>& xs) {
+    for (const double x : xs) {
+        if (!std::isfinite(x)) return false;
+    }
+    return true;
+}
+
+/// Shrinkage small enough to be indistinguishable from OLS on the
+/// problems OLS can solve, but it makes gram + lambda I strictly SPD.
+constexpr double kFallbackRidgeLambda = 1e-6;
+
+}  // namespace
 
 void SpatialModel::fit(const std::vector<std::vector<double>>& series,
                        const std::vector<int>& signature_indices) {
@@ -46,9 +63,31 @@ void SpatialModel::fit(const std::vector<std::vector<double>>& series,
     dependent_fit_ape_.clear();
     fits_.reserve(dependent_indices_.size());
     dependent_fit_ape_.reserve(dependent_indices_.size());
+    ridge_fallbacks_ = 0;
     for (int dep : dependent_indices_) {
         const auto& y = series[static_cast<std::size_t>(dep)];
-        la::OlsFit fit = la::ols_fit(y, predictors);
+        la::OlsFit fit;
+        bool ols_ok = true;
+        try {
+            fit = la::ols_fit(y, predictors);
+            ols_ok = all_finite(fit.coefficients);
+        } catch (const std::exception&) {
+            ols_ok = false;
+        }
+        if (!ols_ok) {
+            // Mirrors ridge.cpp's own solve_spd -> solve ladder: when the
+            // least-squares problem is singular or under-determined, a tiny
+            // L2 penalty restores a unique finite solution.
+            fit = la::ridge_fit(y, predictors, kFallbackRidgeLambda);
+            if (!all_finite(fit.coefficients)) {
+                throw PipelineError(PipelineErrorCode::kSolverSingular,
+                                    "spatial",
+                                    "ridge fallback produced non-finite "
+                                    "coefficients for dependent series " +
+                                        std::to_string(dep));
+            }
+            ++ridge_fallbacks_;
+        }
         dependent_fit_ape_.push_back(
             ts::mean_absolute_percentage_error(y, fit.fitted));
         // Fitted/residual vectors are per-training-window and only needed

@@ -22,8 +22,21 @@ class SpatialModel {
     /// `signature_indices` selects the predictors. Every non-signature
     /// index becomes a dependent series. Throws std::invalid_argument on
     /// ragged input or an empty/out-of-range signature set.
+    ///
+    /// When OLS cannot produce a finite fit for a dependent series (e.g.
+    /// fewer training samples than predictors), that series falls back to
+    /// ridge with a tiny penalty — gram + lambda I is SPD for any predictor
+    /// set — and `ridge_fallbacks()` counts how many dependents degraded
+    /// this way. A series that defeats ridge too raises
+    /// PipelineError(kSolverSingular).
     void fit(const std::vector<std::vector<double>>& series,
              const std::vector<int>& signature_indices);
+
+    /// Number of dependent series whose OLS fit was replaced by ridge in
+    /// the last fit() call (0 on the clean path).
+    [[nodiscard]] std::size_t ridge_fallbacks() const {
+        return ridge_fallbacks_;
+    }
 
     /// Reconstructs the full series set from signature realizations.
     ///
@@ -56,6 +69,7 @@ class SpatialModel {
     std::vector<la::OlsFit> fits_;  // one per dependent, same order
     std::vector<double> dependent_fit_ape_;
     std::size_t total_series_ = 0;
+    std::size_t ridge_fallbacks_ = 0;
 };
 
 }  // namespace atm::core

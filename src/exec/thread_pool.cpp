@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <utility>
@@ -73,7 +74,10 @@ struct ForEachState {
     std::size_t n = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
-    std::atomic<bool> failed{false};
+    /// Lowest index that has thrown so far (SIZE_MAX while none has). The
+    /// caller must see the *first trace-order* exception regardless of
+    /// scheduling, so later throwers are demoted, not first-come-first-kept.
+    std::atomic<std::size_t> error_index{SIZE_MAX};
     std::exception_ptr error;
     std::mutex error_mutex;
     std::mutex done_mutex;
@@ -82,16 +86,26 @@ struct ForEachState {
     /// Claims indices until the space is exhausted. Every claimed index
     /// bumps `completed` exactly once — even when skipped after a failure —
     /// so `completed == n` means no fn invocation is still in flight.
+    ///
+    /// Determinism: fn(i) is skipped only when some index below i has
+    /// already thrown. Hence every index below the minimal throwing index
+    /// always runs (nothing below it can be in error_index), that minimal
+    /// thrower itself always runs, and its exception — having the lowest
+    /// index — is the one retained. The delivered exception is therefore a
+    /// pure function of fn, independent of worker count and scheduling.
     void drain() {
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= n) return;
-            if (!failed.load(std::memory_order_relaxed)) {
+            if (i < error_index.load(std::memory_order_acquire)) {
                 try {
                     fn(i);
                 } catch (...) {
                     const std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!failed.exchange(true)) error = std::current_exception();
+                    if (i < error_index.load(std::memory_order_relaxed)) {
+                        error_index.store(i, std::memory_order_release);
+                        error = std::current_exception();
+                    }
                 }
             }
             if (completed.fetch_add(1) + 1 == n) {
@@ -130,7 +144,9 @@ void parallel_for_each(ThreadPool* pool, std::size_t n,
         state->done_cv.wait(lock,
                             [&state] { return state->completed.load() == state->n; });
     }
-    if (state->failed.load()) std::rethrow_exception(state->error);
+    if (state->error_index.load() != SIZE_MAX) {
+        std::rethrow_exception(state->error);
+    }
 }
 
 }  // namespace atm::exec

@@ -57,6 +57,11 @@ std::vector<double> repair_gaps(std::span<const double> xs,
                 out[t] = left;
             } else if (has_right) {
                 out[t] = right;
+            } else {
+                // All-gap series: no valid sample anywhere to fill from.
+                // Pin to flat zeros so downstream math stays finite; the
+                // pipeline reports this as PipelineErrorCode::kRepairFailed.
+                out[t] = 0.0;
             }
         }
     }

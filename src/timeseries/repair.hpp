@@ -32,9 +32,12 @@ enum class RepairMethod {
 /// Returns a copy of the series with all `gaps` filled. For kSeasonal,
 /// `period` is the seasonality in samples (96 for daily patterns at
 /// 15-minute windows). Gaps touching the series edges are filled with the
-/// nearest valid value. The paper drops gappy boxes from its Section V
-/// study; repair lets the remaining 6K-box analyses (Sections II-IV) use
-/// them without bias from zero runs.
+/// nearest valid value; a gap spanning the whole series has no valid
+/// neighbor and is pinned to flat zeros (callers detect that condition and
+/// report it as core::PipelineErrorCode::kRepairFailed — ts cannot depend
+/// on core, so the signal lives one layer up). The paper drops gappy boxes
+/// from its Section V study; repair lets the remaining 6K-box analyses
+/// (Sections II-IV) use them without bias from zero runs.
 std::vector<double> repair_gaps(std::span<const double> xs,
                                 const std::vector<Gap>& gaps,
                                 RepairMethod method = RepairMethod::kSeasonal,

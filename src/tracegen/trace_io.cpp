@@ -1,6 +1,7 @@
 #include "tracegen/trace_io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::trace {
@@ -36,6 +38,22 @@ double parse_double(const std::string& s, int line_no, const char* what) {
     if (ec != std::errc{} || ptr != end) {
         throw std::runtime_error("trace csv line " + std::to_string(line_no) +
                                  ": bad " + what + " '" + s + "'");
+    }
+    return value;
+}
+
+/// Monitoring values (usage, demand, capacity) must be finite and
+/// non-negative. std::from_chars happily parses "nan", "inf" and negative
+/// numbers; let none of them into the trace.
+double parse_sample(const std::string& s, int line_no, const char* what) {
+    const double value = parse_double(s, line_no, what);
+    if (!std::isfinite(value)) {
+        throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                                 ": non-finite " + what + " '" + s + "'");
+    }
+    if (value < 0.0) {
+        throw std::runtime_error("trace csv line " + std::to_string(line_no) +
+                                 ": negative " + what + " '" + s + "'");
     }
     return value;
 }
@@ -79,7 +97,8 @@ void write_trace_csv_file(const std::string& path, const Trace& trace) {
 }
 
 Trace read_trace_csv(std::istream& in, int windows_per_day,
-                     obs::MetricsRegistry* metrics) {
+                     obs::MetricsRegistry* metrics,
+                     const exec::FaultPlan* faults) {
     obs::ScopedTimer load_timer(metrics, "trace.load");
     Trace trace;
     trace.windows_per_day = windows_per_day;
@@ -100,11 +119,13 @@ Trace read_trace_csv(std::istream& in, int windows_per_day,
                 throw std::runtime_error("trace csv line " + std::to_string(line_no) +
                                          ": #box needs 5 fields");
             }
+            const exec::FaultContext fault{faults, trace.boxes.size()};
+            ATM_FAULT_SITE(fault, "trace.box");
             trace.boxes.emplace_back();
             box = &trace.boxes.back();
             box->name = f[1];
-            box->cpu_capacity_ghz = parse_double(f[2], line_no, "box cpu capacity");
-            box->ram_capacity_gb = parse_double(f[3], line_no, "box ram capacity");
+            box->cpu_capacity_ghz = parse_sample(f[2], line_no, "box cpu capacity");
+            box->ram_capacity_gb = parse_sample(f[3], line_no, "box ram capacity");
             box->has_gaps = parse_long(f[4], line_no, "has_gaps") != 0;
             vm = nullptr;
             continue;
@@ -122,8 +143,8 @@ Trace read_trace_csv(std::istream& in, int windows_per_day,
             box->vms.emplace_back();
             vm = &box->vms.back();
             vm->name = f[1];
-            vm->cpu_capacity_ghz = parse_double(f[3], line_no, "vm cpu capacity");
-            vm->ram_capacity_gb = parse_double(f[4], line_no, "vm ram capacity");
+            vm->cpu_capacity_ghz = parse_sample(f[3], line_no, "vm cpu capacity");
+            vm->ram_capacity_gb = parse_sample(f[4], line_no, "vm ram capacity");
             vm->cpu_usage_pct.set_name(vm->name + "/CPU");
             vm->ram_usage_pct.set_name(vm->name + "/RAM");
             vm->cpu_demand_ghz.set_name(vm->name + "/CPU-demand");
@@ -134,17 +155,17 @@ Trace read_trace_csv(std::istream& in, int windows_per_day,
             throw std::runtime_error("trace csv line " + std::to_string(line_no) +
                                      ": windows out of order for " + vm->name);
         }
-        const double cpu_usage = parse_double(f[5], line_no, "cpu usage");
-        const double ram_usage = parse_double(f[6], line_no, "ram usage");
+        const double cpu_usage = parse_sample(f[5], line_no, "cpu usage");
+        const double ram_usage = parse_sample(f[6], line_no, "ram usage");
         vm->cpu_usage_pct.push_back(cpu_usage);
         vm->ram_usage_pct.push_back(ram_usage);
         // Demand columns optional: derive from usage when blank.
         vm->cpu_demand_ghz.push_back(
             f[7].empty() ? cpu_usage / 100.0 * vm->cpu_capacity_ghz
-                         : parse_double(f[7], line_no, "cpu demand"));
+                         : parse_sample(f[7], line_no, "cpu demand"));
         vm->ram_demand_gb.push_back(
             f[8].empty() ? ram_usage / 100.0 * vm->ram_capacity_gb
-                         : parse_double(f[8], line_no, "ram demand"));
+                         : parse_sample(f[8], line_no, "ram demand"));
         ++rows;
     }
     if (metrics != nullptr) {
@@ -158,10 +179,11 @@ Trace read_trace_csv(std::istream& in, int windows_per_day,
 }
 
 Trace read_trace_csv_file(const std::string& path, int windows_per_day,
-                          obs::MetricsRegistry* metrics) {
+                          obs::MetricsRegistry* metrics,
+                          const exec::FaultPlan* faults) {
     std::ifstream in(path);
     if (!in) throw std::runtime_error("read_trace_csv_file: cannot open " + path);
-    return read_trace_csv(in, windows_per_day, metrics);
+    return read_trace_csv(in, windows_per_day, metrics, faults);
 }
 
 }  // namespace atm::trace

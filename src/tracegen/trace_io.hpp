@@ -9,6 +9,10 @@ namespace atm::obs {
 class MetricsRegistry;
 }
 
+namespace atm::exec {
+struct FaultPlan;
+}
+
 namespace atm::trace {
 
 /// CSV schema for monitoring traces, one row per (box, VM, window):
@@ -36,13 +40,25 @@ void write_trace_csv_file(const std::string& path, const Trace& trace);
 /// Reads a trace from the CSV schema. `windows_per_day` is metadata the
 /// CSV does not carry (defaults to the paper's 96).
 ///
+/// Usage, demand and capacity values must be finite and non-negative;
+/// anything else (NaN/Inf/negative — which `std::from_chars` would parse
+/// silently) is rejected with the same line-numbered std::runtime_error as
+/// structural errors, so corrupt exports fail at the door instead of
+/// poisoning downstream math.
+///
 /// When `metrics` is non-null, records `trace.rows`, `trace.boxes` and
 /// `trace.vms` counters plus a `trace.load` timer span.
+///
+/// `faults` arms the chaos-testing site "trace.box" (entity = box
+/// ordinal): a firing rule makes the read throw exec::InjectedFault at
+/// that box's directive line. Null means no injection.
 Trace read_trace_csv(std::istream& in, int windows_per_day = 96,
-                     obs::MetricsRegistry* metrics = nullptr);
+                     obs::MetricsRegistry* metrics = nullptr,
+                     const exec::FaultPlan* faults = nullptr);
 
 /// Convenience: reads from a file path.
 Trace read_trace_csv_file(const std::string& path, int windows_per_day = 96,
-                          obs::MetricsRegistry* metrics = nullptr);
+                          obs::MetricsRegistry* metrics = nullptr,
+                          const exec::FaultPlan* faults = nullptr);
 
 }  // namespace atm::trace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <random>
 
@@ -201,6 +202,20 @@ TEST(RepairTest, EdgeGapsUseNearestValue) {
         repair_gaps(tail, find_gaps(tail), RepairMethod::kLinear);
     EXPECT_DOUBLE_EQ(fixed_tail[2], 7.0);
     EXPECT_DOUBLE_EQ(fixed_tail[3], 7.0);
+}
+
+TEST(RepairTest, AllGapSeriesIsPinnedToZeros) {
+    // A gap spanning the whole series has no valid neighbor in any
+    // direction; repair pins it to flat zeros instead of leaving the gap
+    // values untouched (the pipeline reports this condition one layer up
+    // as PipelineErrorCode::kRepairFailed).
+    const std::vector<double> xs(8, std::numeric_limits<double>::quiet_NaN());
+    const std::vector<Gap> whole{{0, xs.size()}};
+    for (const RepairMethod method :
+         {RepairMethod::kLinear, RepairMethod::kSeasonal}) {
+        const auto fixed = repair_gaps(xs, whole, method, 4);
+        EXPECT_EQ(fixed, std::vector<double>(8, 0.0));
+    }
 }
 
 TEST(RepairTest, RepairSeriesConvenience) {

@@ -267,8 +267,13 @@ TEST(PipelineTest, TooShortTraceThrows) {
     options.num_boxes = 1;
     options.num_days = 3;
     const auto box = trace::generate_box(options, 0);
-    EXPECT_THROW(run_pipeline_on_box(box, 96, fast_config()),
-                 std::invalid_argument);
+    try {
+        run_pipeline_on_box(box, 96, fast_config());
+        FAIL() << "expected PipelineError";
+    } catch (const PipelineError& e) {
+        EXPECT_EQ(e.code(), PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(e.stage(), "input");
+    }
 }
 
 TEST(PipelineTest, AtmReducesTicketsOnAverage) {
@@ -341,9 +346,14 @@ TEST(ResizeOnActualsTest, DayOutOfRangeThrows) {
     options.num_boxes = 1;
     options.num_days = 2;
     const auto box = trace::generate_box(options, 0);
-    EXPECT_THROW(evaluate_resize_policies_on_actuals(
-                     box, 96, 5, 0.6, 5.0, {resize::ResizePolicy::kAtmGreedy}),
-                 std::invalid_argument);
+    try {
+        evaluate_resize_policies_on_actuals(box, 96, 5, 0.6, 5.0,
+                                            {resize::ResizePolicy::kAtmGreedy});
+        FAIL() << "expected PipelineError";
+    } catch (const PipelineError& e) {
+        EXPECT_EQ(e.code(), PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(e.stage(), "input");
+    }
 }
 
 // Parameterized: the pipeline runs under every clustering method x

@@ -102,6 +102,25 @@ TEST(ParallelForEachTest, PropagatesFirstExceptionAndKeepsPoolUsable) {
     EXPECT_EQ(count.load(), 32);
 }
 
+TEST(ParallelForEachTest, DeliversLowestIndexExceptionDeterministically) {
+    // Several indices throw concurrently; the contract is that the caller
+    // always sees the exception from the lowest index, independent of
+    // scheduling — chaos tests rely on this to assert exact failures.
+    exec::ThreadPool pool(7);
+    for (int repeat = 0; repeat < 25; ++repeat) {
+        try {
+            exec::parallel_for_each(&pool, 128, [](std::size_t i) {
+                if (i == 5 || i == 23 || i == 77 || i == 127) {
+                    throw std::runtime_error("boom " + std::to_string(i));
+                }
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "boom 5") << "repeat " << repeat;
+        }
+    }
+}
+
 TEST(ParallelForEachTest, NestedCallsOnTheSamePoolComplete) {
     // All workers sit inside outer iterations, so inner calls can only
     // finish because the calling task drains its own index space — this
@@ -199,6 +218,34 @@ TEST(FleetConfigTest, ReportsEveryOutOfRangeValue) {
     EXPECT_NE(problems.find("train_days"), std::string::npos);
     EXPECT_NE(problems.find("epsilon_pct"), std::string::npos);
     EXPECT_NE(problems.find("jobs"), std::string::npos);
+}
+
+TEST(FleetConfigTest, AcceptsBoundaryAlphaAndRejectsRangeEdges) {
+    core::FleetConfig config;
+    config.pipeline.alpha = 1.0;  // a 100% threshold is a valid boundary
+    EXPECT_EQ(config.validate(), "");
+    config.pipeline.epsilon_pct = 100.0;  // rounding to >= a full capacity is not
+    EXPECT_NE(config.validate().find("epsilon_pct"), std::string::npos);
+    config.pipeline.epsilon_pct = 5.0;
+    config.pipeline.max_bad_sample_fraction = 1.5;
+    EXPECT_NE(config.validate().find("max_bad_sample_fraction"),
+              std::string::npos);
+}
+
+TEST(FleetConfigTest, TraceValidationCatchesOverlongTraining) {
+    trace::TraceGenOptions options;
+    options.num_boxes = 1;
+    options.num_days = 6;
+    options.windows_per_day = 24;
+    options.gappy_box_fraction = 0.0;
+    const trace::Trace t = trace::generate_trace(options);
+
+    core::FleetConfig config;
+    EXPECT_EQ(config.validate(t), "");  // 5 train days + 1 eval day fit in 6
+    config.pipeline.train_days = 10;
+    EXPECT_EQ(config.validate(), "");  // config alone cannot see the trace
+    EXPECT_NE(config.validate(t).find("train_days"), std::string::npos);
+    EXPECT_THROW(core::run_pipeline_on_fleet(t, config), std::invalid_argument);
 }
 
 TEST(FleetConfigTest, FleetRunRejectsInvalidConfig) {

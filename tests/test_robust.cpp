@@ -1,0 +1,481 @@
+// Chaos suite (ctest -L robust): the fault-injection plan grammar, the
+// deterministic fault draws, and the fleet under escalating fault plans.
+// The fleet runs assert the robustness contract of DESIGN.md §7.11: no
+// crash, structured error codes matching the injected faults, exact
+// exclusion of failed boxes from aggregates, finite outputs from degraded
+// boxes, and bit-identical results for jobs=1 vs jobs=8.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/pipeline.hpp"
+#include "core/spatial_model.hpp"
+#include "exec/fault.hpp"
+#include "tracegen/generator.hpp"
+
+namespace atm {
+namespace {
+
+using core::PipelineErrorCode;
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlanTest, ParsesSpecGrammar) {
+    const exec::FaultPlan plan = exec::FaultPlan::parse(
+        "samples=nan@0.05,series=truncate@0.5,pipeline.forecast=throw", 7);
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.rules.size(), 3u);
+    EXPECT_EQ(plan.rules[0].site, "samples");
+    EXPECT_EQ(plan.rules[0].action, exec::FaultAction::kNan);
+    EXPECT_DOUBLE_EQ(plan.rules[0].rate, 0.05);
+    EXPECT_EQ(plan.rules[1].site, "series");
+    EXPECT_EQ(plan.rules[1].action, exec::FaultAction::kTruncate);
+    EXPECT_DOUBLE_EQ(plan.rules[1].rate, 0.5);
+    EXPECT_EQ(plan.rules[2].site, "pipeline.forecast");
+    EXPECT_EQ(plan.rules[2].action, exec::FaultAction::kThrow);
+    EXPECT_DOUBLE_EQ(plan.rules[2].rate, 1.0);  // default rate
+    EXPECT_FALSE(plan.empty());
+    EXPECT_TRUE(plan.has_data_faults());
+}
+
+TEST(FaultPlanTest, EmptySpecDisablesInjection) {
+    const exec::FaultPlan plan = exec::FaultPlan::parse("", 42);
+    EXPECT_TRUE(plan.empty());
+    EXPECT_FALSE(plan.has_data_faults());
+    // A throw-only plan carries no data faults.
+    EXPECT_FALSE(exec::FaultPlan::parse("fleet.box=throw@0.5", 1).has_data_faults());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+    const std::vector<std::string> bad = {
+        "samples=bogus",        // unknown action
+        "nan@0.5",              // no '='
+        "=nan@0.5",             // empty site
+        "samples=nan@0",        // rate must be > 0
+        "samples=nan@1.5",      // rate must be <= 1
+        "samples=nan@x",        // unparseable rate
+        "pipeline.search=nan",  // sample action on a code site
+        "samples=truncate",     // truncate needs site 'series'
+        "samples=throw",        // throw needs a code site
+        "series=throw",         // ditto
+        ",,,",                  // non-empty spec without a single rule
+    };
+    for (const std::string& spec : bad) {
+        EXPECT_THROW(exec::FaultPlan::parse(spec, 1), std::invalid_argument)
+            << "spec: " << spec;
+    }
+}
+
+// -------------------------------------------------------------- FaultContext
+
+TEST(FaultContextTest, NullPlanIsInert) {
+    const exec::FaultContext ctx;
+    EXPECT_NO_THROW(ctx.check_site("pipeline.start"));
+    std::vector<double> xs(16, 1.0);
+    EXPECT_EQ(ctx.corrupt_samples(xs, 0), 0u);
+    EXPECT_EQ(xs, std::vector<double>(16, 1.0));
+    EXPECT_EQ(ctx.truncated_length(144), 144u);
+}
+
+TEST(FaultContextTest, SampleCorruptionIsDeterministicPerEntityAndStream) {
+    const exec::FaultPlan plan = exec::FaultPlan::parse("samples=nan@0.2", 7);
+    const auto corrupt = [&plan](std::uint64_t entity, std::uint64_t stream) {
+        const exec::FaultContext ctx{&plan, entity};
+        std::vector<double> xs(256, 1.0);
+        const std::uint64_t n = ctx.corrupt_samples(xs, stream);
+        std::vector<bool> pattern(xs.size());
+        for (std::size_t t = 0; t < xs.size(); ++t) pattern[t] = std::isnan(xs[t]);
+        EXPECT_GT(n, 0u);
+        EXPECT_LT(n, xs.size());
+        return pattern;
+    };
+    EXPECT_EQ(corrupt(3, 0), corrupt(3, 0));  // same key, same samples
+    EXPECT_NE(corrupt(3, 0), corrupt(4, 0));  // entity changes the draw
+    EXPECT_NE(corrupt(3, 0), corrupt(3, 1));  // so does the stream
+}
+
+TEST(FaultContextTest, CorruptionActionsProduceTheirValues) {
+    const auto apply = [](const std::string& spec) {
+        const exec::FaultPlan plan = exec::FaultPlan::parse(spec, 5);
+        const exec::FaultContext ctx{&plan, 0};
+        std::vector<double> xs(32, 1.0);
+        EXPECT_EQ(ctx.corrupt_samples(xs, 0), xs.size()) << spec;
+        return xs;
+    };
+    for (const double x : apply("samples=nan@1")) EXPECT_TRUE(std::isnan(x));
+    for (const double x : apply("samples=inf@1")) EXPECT_TRUE(std::isinf(x));
+    for (const double x : apply("samples=negative@1")) EXPECT_DOUBLE_EQ(x, -2.0);
+    for (const double x : apply("samples=zero-run@1")) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(FaultContextTest, ThrowVerdictIsStablePerEntityAndSite) {
+    const exec::FaultPlan plan = exec::FaultPlan::parse("forecast.fit=throw@0.5", 11);
+    const auto fires = [&plan](std::uint64_t entity) {
+        const exec::FaultContext ctx{&plan, entity};
+        try {
+            ctx.check_site("forecast.fit");
+            return false;
+        } catch (const exec::InjectedFault& e) {
+            EXPECT_EQ(e.site(), "forecast.fit");
+            return true;
+        }
+    };
+    std::size_t fired = 0;
+    for (std::uint64_t entity = 0; entity < 64; ++entity) {
+        const bool verdict = fires(entity);
+        EXPECT_EQ(fires(entity), verdict);  // re-asking never flips it
+        EXPECT_EQ(fires(entity), verdict);
+        if (verdict) ++fired;
+        // An unarmed site never throws, whatever the entity.
+        const exec::FaultContext ctx{&plan, entity};
+        EXPECT_NO_THROW(ctx.check_site("pipeline.start"));
+    }
+    // At rate 0.5 over 64 entities both verdicts must occur.
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(fired, 64u);
+}
+
+TEST(FaultContextTest, TruncationDropsTheTrailingQuarter) {
+    const exec::FaultPlan plan = exec::FaultPlan::parse("series=truncate@1", 3);
+    const exec::FaultContext ctx{&plan, 0};
+    EXPECT_EQ(ctx.truncated_length(144), 108u);
+    EXPECT_EQ(ctx.truncated_length(7), 6u);
+    EXPECT_EQ(ctx.truncated_length(0), 0u);
+    const exec::FaultPlan no_truncate = exec::FaultPlan::parse("samples=nan@1", 3);
+    EXPECT_EQ((exec::FaultContext{&no_truncate, 0}).truncated_length(144), 144u);
+}
+
+// -------------------------------------------------------------- chaos fleets
+
+trace::Trace chaos_trace(int boxes) {
+    trace::TraceGenOptions options;
+    options.num_boxes = boxes;
+    options.num_days = 6;  // 5 training days + 1 evaluation day
+    options.windows_per_day = 24;
+    options.gappy_box_fraction = 0.0;
+    options.seed = 20150403;
+    return trace::generate_trace(options);
+}
+
+core::FleetConfig chaos_config(const std::string& spec, std::uint64_t fault_seed) {
+    core::FleetConfig config;
+    config.pipeline.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.pipeline.train_days = 5;
+    config.jobs = 1;
+    config.collect_metrics = true;
+    config.faults = exec::FaultPlan::parse(spec, fault_seed);
+    return config;
+}
+
+bool has_degradation(const core::BoxPipelineResult& result,
+                     const std::string& stage, PipelineErrorCode code) {
+    for (const core::Degradation& d : result.degradations) {
+        if (d.stage == stage && d.code == code) return true;
+    }
+    return false;
+}
+
+TEST(ChaosFleetTest, LightCorruptionDegradesButBoxesSurvive) {
+    const trace::Trace t = chaos_trace(6);
+    const core::FleetConfig config = chaos_config("samples=nan@0.03", 1);
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    ASSERT_EQ(fleet.boxes.size(), 6u);
+    EXPECT_EQ(fleet.boxes_failed, 0u);
+    EXPECT_TRUE(fleet.failures_by_code.empty());
+    std::size_t degraded = 0;
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        EXPECT_TRUE(b.error.empty());
+        EXPECT_EQ(b.error_code, PipelineErrorCode::kNone);
+        EXPECT_TRUE(std::isfinite(b.result.ape_all));
+        EXPECT_TRUE(std::isfinite(b.result.ape_peak));
+        if (has_degradation(b.result, "sanitize", PipelineErrorCode::kTraceInvalid)) {
+            ++degraded;
+        }
+    }
+    EXPECT_GT(degraded, 0u);  // ~3% of samples NaN: sanitize must fire
+    EXPECT_GT(fleet.metrics.counter("robust.fault.samples_corrupted"), 0u);
+    EXPECT_GT(fleet.metrics.counter("robust.sanitize.bad_samples"), 0u);
+    EXPECT_GE(fleet.metrics.counter("robust.fallback.sanitize"), degraded);
+}
+
+TEST(ChaosFleetTest, HeavyCorruptionRejectsEveryBox) {
+    const trace::Trace t = chaos_trace(4);
+    const core::FleetConfig config = chaos_config("samples=nan@0.9", 2);
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    ASSERT_EQ(fleet.boxes.size(), 4u);
+    EXPECT_EQ(fleet.boxes_failed, 4u);
+    EXPECT_EQ(fleet.boxes_evaluated(), 0u);
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        EXPECT_FALSE(b.error.empty());
+        EXPECT_EQ(b.error_code, PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(b.error_stage, "sanitize");
+        EXPECT_TRUE(b.result.policies.empty());
+    }
+    ASSERT_EQ(fleet.failures_by_code.size(), 1u);
+    EXPECT_EQ(fleet.failures_by_code.at(PipelineErrorCode::kTraceInvalid), 4u);
+    EXPECT_EQ(fleet.metrics.counter("robust.error.trace-invalid"), 4u);
+    // Failed boxes contribute nothing to the aggregates.
+    EXPECT_EQ(fleet.mean_ape_all, 0.0);
+    for (const core::PolicyTickets& p : fleet.totals) {
+        EXPECT_EQ(p.cpu_before, 0);
+        EXPECT_EQ(p.cpu_after, 0);
+        EXPECT_EQ(p.ram_before, 0);
+        EXPECT_EQ(p.ram_after, 0);
+    }
+}
+
+TEST(ChaosFleetTest, TruncationExcludesFailedBoxesFromAggregatesExactly) {
+    const trace::Trace t = chaos_trace(8);
+    const core::FleetConfig config = chaos_config("series=truncate@0.5", 5);
+
+    // The test derives the truncated set from the same plan the fleet
+    // uses: entity draws are position-keyed, so this is the ground truth.
+    std::set<int> truncated;
+    for (int b = 0; b < 8; ++b) {
+        const exec::FaultContext ctx{&config.faults, static_cast<std::uint64_t>(b)};
+        if (ctx.truncated_length(t.boxes[0].length()) != t.boxes[0].length()) {
+            truncated.insert(b);
+        }
+    }
+    ASSERT_GT(truncated.size(), 0u);  // seed chosen so the plan is mixed
+    ASSERT_LT(truncated.size(), 8u);
+
+    core::FleetConfig clean = config;
+    clean.faults = exec::FaultPlan{};
+    const core::FleetResult baseline = core::run_pipeline_on_fleet(t, clean);
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    // Truncated boxes lose 1.5 of 6 days and can no longer fit the
+    // 5-day training window: they must fail as invalid input.
+    ASSERT_EQ(fleet.boxes.size(), 8u);
+    EXPECT_EQ(fleet.boxes_failed, truncated.size());
+    double ape_sum = 0.0;
+    std::vector<core::PolicyTickets> totals(fleet.totals.size());
+    for (std::size_t i = 0; i < fleet.boxes.size(); ++i) {
+        const core::FleetBoxResult& b = fleet.boxes[i];
+        if (truncated.count(b.box_index) != 0) {
+            EXPECT_EQ(b.error_code, PipelineErrorCode::kTraceInvalid);
+            EXPECT_EQ(b.error_stage, "input");
+            continue;
+        }
+        // Survivors are untouched: bit-identical to the no-fault run.
+        const core::FleetBoxResult& base = baseline.boxes[i];
+        EXPECT_TRUE(b.error.empty());
+        EXPECT_EQ(b.result.ape_all, base.result.ape_all);
+        EXPECT_EQ(b.result.ape_peak, base.result.ape_peak);
+        ASSERT_EQ(b.result.policies.size(), totals.size());
+        for (std::size_t p = 0; p < totals.size(); ++p) {
+            EXPECT_EQ(b.result.policies[p].cpu_after, base.result.policies[p].cpu_after);
+            totals[p].cpu_before += b.result.policies[p].cpu_before;
+            totals[p].cpu_after += b.result.policies[p].cpu_after;
+            totals[p].ram_before += b.result.policies[p].ram_before;
+            totals[p].ram_after += b.result.policies[p].ram_after;
+        }
+        ape_sum += b.result.ape_all;
+    }
+    // Aggregates are exactly the survivor sums — nothing leaks in from
+    // the failed boxes.
+    const std::size_t survivors = 8u - truncated.size();
+    EXPECT_DOUBLE_EQ(fleet.mean_ape_all,
+                     ape_sum / static_cast<double>(survivors));
+    for (std::size_t p = 0; p < totals.size(); ++p) {
+        EXPECT_EQ(fleet.totals[p].cpu_before, totals[p].cpu_before);
+        EXPECT_EQ(fleet.totals[p].cpu_after, totals[p].cpu_after);
+        EXPECT_EQ(fleet.totals[p].ram_before, totals[p].ram_before);
+        EXPECT_EQ(fleet.totals[p].ram_after, totals[p].ram_after);
+    }
+}
+
+TEST(ChaosFleetTest, BoundaryThrowFailsBoxesWithFaultInjected) {
+    const trace::Trace t = chaos_trace(8);
+    const core::FleetConfig config = chaos_config("pipeline.forecast=throw@0.4", 3);
+
+    std::set<int> expected;
+    for (int b = 0; b < 8; ++b) {
+        const exec::FaultContext ctx{&config.faults, static_cast<std::uint64_t>(b)};
+        try {
+            ctx.check_site("pipeline.forecast");
+        } catch (const exec::InjectedFault&) {
+            expected.insert(b);
+        }
+    }
+    ASSERT_GT(expected.size(), 0u);  // seed chosen so the plan is mixed
+    ASSERT_LT(expected.size(), 8u);
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(fleet.boxes.size(), 8u);
+    EXPECT_EQ(fleet.boxes_failed, expected.size());
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        if (expected.count(b.box_index) != 0) {
+            EXPECT_EQ(b.error_code, PipelineErrorCode::kFaultInjected);
+            EXPECT_EQ(b.error_stage, "pipeline.forecast");
+        } else {
+            EXPECT_TRUE(b.error.empty());
+            EXPECT_TRUE(b.result.degradations.empty());
+        }
+    }
+    EXPECT_EQ(fleet.failures_by_code.at(PipelineErrorCode::kFaultInjected),
+              expected.size());
+    EXPECT_EQ(fleet.metrics.counter("robust.error.fault-injected"),
+              expected.size());
+}
+
+TEST(ChaosFleetTest, RecoverableSitesEngageFallbacksNotFailures) {
+    const trace::Trace t = chaos_trace(4);
+    const core::FleetConfig config = chaos_config(
+        "spatial.ols=throw@1,forecast.fit=throw@1,resize.mckp=throw@1", 9);
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+
+    ASSERT_EQ(fleet.boxes.size(), 4u);
+    EXPECT_EQ(fleet.boxes_failed, 0u);  // every rung recovers
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        EXPECT_TRUE(b.error.empty());
+        EXPECT_TRUE(has_degradation(b.result, "spatial",
+                                    PipelineErrorCode::kFaultInjected));
+        EXPECT_TRUE(has_degradation(b.result, "forecast",
+                                    PipelineErrorCode::kFaultInjected));
+        EXPECT_TRUE(has_degradation(b.result, "resize",
+                                    PipelineErrorCode::kFaultInjected));
+        EXPECT_TRUE(std::isfinite(b.result.ape_all));
+        ASSERT_FALSE(b.result.policies.empty());
+        for (const core::PolicyTickets& p : b.result.policies) {
+            EXPECT_GE(p.cpu_after, 0);
+            EXPECT_GE(p.ram_after, 0);
+        }
+    }
+    EXPECT_EQ(fleet.metrics.counter("robust.fallback.spatial"), 4u);
+    EXPECT_GE(fleet.metrics.counter("robust.fallback.forecast"), 4u);
+    EXPECT_GE(fleet.metrics.counter("robust.fallback.resize"), 4u);
+}
+
+void expect_fleet_equal(const core::FleetResult& a, const core::FleetResult& b) {
+    ASSERT_EQ(a.boxes.size(), b.boxes.size());
+    for (std::size_t i = 0; i < a.boxes.size(); ++i) {
+        const core::FleetBoxResult& ra = a.boxes[i];
+        const core::FleetBoxResult& rb = b.boxes[i];
+        EXPECT_EQ(ra.box_index, rb.box_index);
+        EXPECT_EQ(ra.error, rb.error) << "box " << i;
+        EXPECT_EQ(ra.error_code, rb.error_code) << "box " << i;
+        EXPECT_EQ(ra.error_stage, rb.error_stage) << "box " << i;
+        EXPECT_EQ(ra.result.ape_all, rb.result.ape_all) << "box " << i;
+        EXPECT_EQ(ra.result.ape_peak, rb.result.ape_peak) << "box " << i;
+        EXPECT_EQ(ra.result.search.signatures, rb.result.search.signatures);
+        ASSERT_EQ(ra.result.degradations.size(), rb.result.degradations.size())
+            << "box " << i;
+        for (std::size_t d = 0; d < ra.result.degradations.size(); ++d) {
+            EXPECT_EQ(ra.result.degradations[d].code, rb.result.degradations[d].code);
+            EXPECT_EQ(ra.result.degradations[d].stage,
+                      rb.result.degradations[d].stage);
+            EXPECT_EQ(ra.result.degradations[d].detail,
+                      rb.result.degradations[d].detail);
+        }
+        ASSERT_EQ(ra.result.policies.size(), rb.result.policies.size());
+        for (std::size_t p = 0; p < ra.result.policies.size(); ++p) {
+            EXPECT_EQ(ra.result.policies[p].cpu_after, rb.result.policies[p].cpu_after);
+            EXPECT_EQ(ra.result.policies[p].ram_after, rb.result.policies[p].ram_after);
+        }
+    }
+    EXPECT_EQ(a.boxes_failed, b.boxes_failed);
+    EXPECT_EQ(a.failures_by_code, b.failures_by_code);
+    EXPECT_EQ(a.mean_ape_all, b.mean_ape_all);
+    EXPECT_EQ(a.mean_ape_peak, b.mean_ape_peak);
+    ASSERT_EQ(a.totals.size(), b.totals.size());
+    for (std::size_t p = 0; p < a.totals.size(); ++p) {
+        EXPECT_EQ(a.totals[p].cpu_after, b.totals[p].cpu_after);
+        EXPECT_EQ(a.totals[p].ram_after, b.totals[p].ram_after);
+    }
+    // Counters (including every robust.*) merge in trace order, so the
+    // whole map must match; timers are wall-clock and excluded.
+    EXPECT_EQ(a.metrics.counters, b.metrics.counters);
+}
+
+TEST(ChaosFleetTest, MixedPlanIsBitIdenticalAcrossJobCounts) {
+    const trace::Trace t = chaos_trace(8);
+    const std::string spec =
+        "samples=nan@0.05,series=truncate@0.25,"
+        "pipeline.search=throw@0.3,forecast.fit=throw@0.5";
+
+    core::FleetConfig serial = chaos_config(spec, 13);
+    serial.jobs = 1;
+    const core::FleetResult a = core::run_pipeline_on_fleet(t, serial);
+
+    core::FleetConfig pooled = chaos_config(spec, 13);
+    pooled.jobs = 8;
+    const core::FleetResult b = core::run_pipeline_on_fleet(t, pooled);
+
+    expect_fleet_equal(a, b);
+    // The mixed plan must actually exercise both outcomes.
+    EXPECT_GT(a.boxes_failed, 0u);
+    EXPECT_LT(a.boxes_failed, a.boxes.size());
+}
+
+// -------------------------------------------------- degradation ladder units
+
+TEST(DegradationLadderTest, SpatialRidgeFallbackOnUnderdeterminedFit) {
+    // 3 training samples against 3 signatures + intercept: OLS is
+    // underdetermined and must hand the dependent series to ridge.
+    const std::vector<std::vector<double>> series = {
+        {1.0, 2.0, 3.0}, {2.0, 1.0, 4.0}, {0.5, 0.5, 1.0}, {1.5, 2.5, 3.5}};
+    core::SpatialModel model;
+    model.fit(series, {0, 1, 2});
+    EXPECT_TRUE(model.fitted());
+    EXPECT_EQ(model.ridge_fallbacks(), 1u);
+    const auto rebuilt = model.reconstruct({series[0], series[1], series[2]});
+    ASSERT_EQ(rebuilt.size(), 4u);
+    for (const double x : rebuilt[3]) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(DegradationLadderTest, AllBadSeriesIsPinnedToZerosAndReported) {
+    trace::TraceGenOptions options;
+    options.num_days = 6;
+    options.windows_per_day = 24;
+    options.gappy_box_fraction = 0.0;
+    trace::BoxTrace box = trace::generate_box(options, 0);
+    ASSERT_GE(box.vms.size(), 2u);
+    for (double& x : box.vms[0].cpu_demand_ghz.values()) {
+        x = std::numeric_limits<double>::quiet_NaN();
+    }
+
+    core::PipelineConfig config;
+    config.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.train_days = 5;
+    const core::BoxPipelineResult result =
+        core::run_pipeline_on_box(box, options.windows_per_day, config);
+    EXPECT_TRUE(has_degradation(result, "sanitize",
+                                PipelineErrorCode::kRepairFailed));
+    EXPECT_TRUE(std::isfinite(result.ape_all));
+}
+
+TEST(DegradationLadderTest, OverlyCorruptBoxIsRejectedWithTaxonomy) {
+    trace::TraceGenOptions options;
+    options.num_days = 6;
+    options.windows_per_day = 24;
+    options.gappy_box_fraction = 0.0;
+    trace::BoxTrace box = trace::generate_box(options, 0);
+    box.vms[0].cpu_demand_ghz.values()[0] =
+        std::numeric_limits<double>::quiet_NaN();
+
+    core::PipelineConfig config;
+    config.temporal = forecast::TemporalModel::kSeasonalNaive;
+    config.train_days = 5;
+    config.max_bad_sample_fraction = 0.0;  // zero tolerance: one NaN rejects
+    try {
+        core::run_pipeline_on_box(box, options.windows_per_day, config);
+        FAIL() << "expected PipelineError";
+    } catch (const core::PipelineError& e) {
+        EXPECT_EQ(e.code(), PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(e.stage(), "sanitize");
+    }
+}
+
+}  // namespace
+}  // namespace atm

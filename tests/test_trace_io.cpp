@@ -92,6 +92,32 @@ TEST(TraceIoTest, MalformedInputsThrowWithLineNumbers) {
     EXPECT_THROW(read_trace_csv(bad_number), std::runtime_error);
 }
 
+TEST(TraceIoTest, RejectsNonFiniteAndNegativeSamples) {
+    // std::from_chars happily parses "nan", "inf" and negative numbers;
+    // none of them are valid monitoring samples and each must be rejected
+    // with the offending line number.
+    const auto expect_rejected = [](const std::string& csv,
+                                    const std::string& line,
+                                    const std::string& needle) {
+        std::stringstream in(csv);
+        try {
+            read_trace_csv(in);
+            FAIL() << "expected rejection: " << needle;
+        } catch (const std::runtime_error& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("line " + line), std::string::npos) << what;
+            EXPECT_NE(what.find(needle), std::string::npos) << what;
+        }
+    };
+    expect_rejected("#box,b0,1,1,0\nb0,vm0,0,4,8,nan,25,2,2\n", "2",
+                    "non-finite cpu usage");
+    expect_rejected("#box,b0,1,1,0\nb0,vm0,0,inf,8,50,25,2,2\n", "2",
+                    "non-finite vm cpu capacity");
+    expect_rejected("#box,b0,1,1,0\nb0,vm0,0,4,8,50,25,2,-3\n", "2",
+                    "negative ram demand");
+    expect_rejected("#box,b0,-1,1,0\n", "1", "negative box cpu capacity");
+}
+
 TEST(TraceIoTest, MissingFileThrows) {
     EXPECT_THROW(read_trace_csv_file("/nonexistent/trace.csv"),
                  std::runtime_error);

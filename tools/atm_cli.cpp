@@ -47,6 +47,10 @@ void add_pipeline_flags(exec::ArgParser& parser) {
         .option("box", "", "evaluate only the box with this name")
         .option("metrics-out", "",
                 "write a JSON stage-metrics report (atm.metrics.v1) here")
+        .option("fault-spec", "",
+                "chaos testing: comma-separated site=action[@rate] rules "
+                "(e.g. samples=nan@0.01,pipeline.forecast=throw@0.5)")
+        .option("fault-seed", "42", "seed for the deterministic fault plan")
         .flag("include-gappy", "also evaluate boxes with monitoring gaps");
 }
 
@@ -94,6 +98,18 @@ core::FleetConfig fleet_config_from_flags(const exec::ArgParser& parser) {
         !metrics_out.empty()) {
         exec::require_writable_file("metrics-out", metrics_out);
         config.collect_metrics = true;
+    }
+
+    // Reproducible chaos runs (see DESIGN.md §7.11); a malformed spec is a
+    // usage error reported before any work starts.
+    if (const std::string& fault_spec = parser.get("fault-spec");
+        !fault_spec.empty()) {
+        try {
+            config.faults =
+                exec::FaultPlan::parse(fault_spec, parser.get_u64("fault-seed"));
+        } catch (const std::invalid_argument& e) {
+            throw exec::ArgParseError(e.what());
+        }
     }
 
     if (const std::string problems = config.validate(); !problems.empty()) {
@@ -181,7 +197,9 @@ int cmd_predict(int argc, char** argv) {
                 "APE all(%)", "peak(%)");
     for (const core::FleetBoxResult& b : fleet.boxes) {
         if (!b.error.empty()) {
-            std::printf("%-12s failed: %s\n", b.box_name.c_str(), b.error.c_str());
+            std::printf("%-12s failed [%s@%s]: %s\n", b.box_name.c_str(),
+                        core::to_string(b.error_code), b.error_stage.c_str(),
+                        b.error.c_str());
             continue;
         }
         const auto& box = t.boxes[static_cast<std::size_t>(b.box_index)];
@@ -197,6 +215,9 @@ int cmd_predict(int argc, char** argv) {
     std::printf("%zu skipped, %zu failed; %d jobs, %.2fs wall\n",
                 fleet.boxes_skipped, fleet.boxes_failed, fleet.jobs,
                 fleet.wall_seconds);
+    for (const auto& [code, count] : fleet.failures_by_code) {
+        std::printf("  %zu x %s\n", count, core::to_string(code));
+    }
     return 0;
 }
 
@@ -237,7 +258,9 @@ int cmd_resize(int argc, char** argv) {
     std::printf("%-12s %14s %14s\n", "box", "CPU tickets", "RAM tickets");
     for (const core::FleetBoxResult& b : fleet.boxes) {
         if (!b.error.empty()) {
-            std::printf("%-12s failed: %s\n", b.box_name.c_str(), b.error.c_str());
+            std::printf("%-12s failed [%s@%s]: %s\n", b.box_name.c_str(),
+                        core::to_string(b.error_code), b.error_stage.c_str(),
+                        b.error.c_str());
             continue;
         }
         const auto& p = b.result.policies[0];
