@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/io.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "timeseries/cdf.hpp"
@@ -24,19 +25,11 @@ inline constexpr const char* kBenchSchema = "atm.bench.v1";
 
 /// Serializes `doc` to `path` (pretty-printed, trailing newline) so bench
 /// runs leave a machine-readable perf trajectory next to the binary.
-/// Throws std::runtime_error when the file cannot be written.
+/// Written atomically (temp + rename), so an interrupted bench never
+/// leaves a truncated artifact. Throws std::runtime_error on failure.
 inline void write_json_file(const std::string& path,
                             const obs::json::Value& doc) {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-        throw std::runtime_error("write_json_file: cannot open " + path);
-    }
-    const std::string text = obs::json::serialize(doc, 2);
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-                    std::fputc('\n', f) != EOF;
-    if (std::fclose(f) != 0 || !ok) {
-        throw std::runtime_error("write_json_file: short write to " + path);
-    }
+    exec::write_file_atomic(path, obs::json::serialize(doc, 2) + '\n');
 }
 
 /// Integer knob from the environment with a default.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
@@ -135,7 +136,8 @@ std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band) {
 
 la::FlatMatrix dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band,
-    exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
+    exec::ThreadPool* pool, obs::MetricsRegistry* metrics,
+    const exec::CancellationToken* cancel) {
     const std::size_t n = series.size();
     la::FlatMatrix dist(n, n, 0.0);
     if (n < 2) return dist;
@@ -172,6 +174,10 @@ la::FlatMatrix dtw_distance_matrix(
         DtwWorkspace workspace;  // reused across the chunk's pairs
         std::uint64_t cells = 0;
         for (std::uint64_t k = begin; k < end; ++k) {
+            // Cancellation point: one atomic load per O(len²) pair. The
+            // exception is delivered by parallel_for_each after in-flight
+            // chunks finish their current pair.
+            exec::checkpoint(cancel, "search.dtw");
             const double d = dtw_distance(series[i], series[j], band, workspace);
             dist(i, j) = d;
             dist(j, i) = d;
@@ -191,7 +197,8 @@ la::FlatMatrix dtw_distance_matrix(
 
 const la::FlatMatrix& DtwMatrixCache::matrix(
     const std::vector<std::vector<double>>& series, int band,
-    exec::ThreadPool* pool, obs::MetricsRegistry* metrics) {
+    exec::ThreadPool* pool, obs::MetricsRegistry* metrics,
+    const exec::CancellationToken* cancel) {
     if (series_count_ == 0) {
         series_count_ = series.size();
     } else if (series_count_ != series.size()) {
@@ -206,7 +213,7 @@ const la::FlatMatrix& DtwMatrixCache::matrix(
     }
     if (metrics != nullptr) metrics->add("cluster.dtw.cache_misses");
     return by_band_
-        .emplace(band, dtw_distance_matrix(series, band, pool, metrics))
+        .emplace(band, dtw_distance_matrix(series, band, pool, metrics, cancel))
         .first->second;
 }
 

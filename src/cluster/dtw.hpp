@@ -9,6 +9,7 @@
 
 namespace atm::exec {
 class ThreadPool;
+class CancellationToken;
 }
 namespace atm::obs {
 class MetricsRegistry;
@@ -68,9 +69,12 @@ std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band = -1);
 /// non-null each chunk records `cluster.dtw.pairs` and
 /// `cluster.dtw.cells` counters (from its worker thread — counters only,
 /// per the obs determinism convention; totals are chunking-invariant).
+/// When `cancel` is non-null it is checked once per pair ("search.dtw")
+/// so a cancelled box abandons the O(n² · len²) loop promptly.
 la::FlatMatrix dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band = -1,
-    exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
+    exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr,
+    const exec::CancellationToken* cancel = nullptr);
 
 /// Memoizes DTW distance matrices per (series set, band).
 ///
@@ -90,7 +94,8 @@ public:
     /// counter (and forwards `metrics` into the matrix computation).
     const la::FlatMatrix& matrix(
         const std::vector<std::vector<double>>& series, int band = -1,
-        exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr);
+        exec::ThreadPool* pool = nullptr, obs::MetricsRegistry* metrics = nullptr,
+        const exec::CancellationToken* cancel = nullptr);
 
     /// True when the matrix for `band` is already memoized.
     [[nodiscard]] bool has(int band) const {

@@ -11,10 +11,25 @@ const char* to_string(PipelineErrorCode code) {
         case PipelineErrorCode::kModelFitFailed: return "model-fit-failed";
         case PipelineErrorCode::kSolverSingular: return "solver-singular";
         case PipelineErrorCode::kResizeInfeasible: return "resize-infeasible";
+        case PipelineErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+        case PipelineErrorCode::kCancelled: return "cancelled";
         case PipelineErrorCode::kFaultInjected: return "fault-injected";
         case PipelineErrorCode::kInternal: return "internal";
     }
     return "unknown";
+}
+
+PipelineErrorCode error_code_from_string(const std::string& name) {
+    for (const PipelineErrorCode code :
+         {PipelineErrorCode::kNone, PipelineErrorCode::kTraceInvalid,
+          PipelineErrorCode::kRepairFailed, PipelineErrorCode::kSearchDegenerate,
+          PipelineErrorCode::kModelFitFailed, PipelineErrorCode::kSolverSingular,
+          PipelineErrorCode::kResizeInfeasible,
+          PipelineErrorCode::kDeadlineExceeded, PipelineErrorCode::kCancelled,
+          PipelineErrorCode::kFaultInjected, PipelineErrorCode::kInternal}) {
+        if (name == to_string(code)) return code;
+    }
+    throw std::invalid_argument("unknown PipelineErrorCode name '" + name + "'");
 }
 
 std::string error_counter_name(PipelineErrorCode code) {

@@ -21,6 +21,8 @@ enum class PipelineErrorCode {
     kModelFitFailed,    ///< temporal model non-finite or failed to fit
     kSolverSingular,    ///< OLS solve failed; ridge fallback engaged
     kResizeInfeasible,  ///< MCKP infeasible even at minimal candidates
+    kDeadlineExceeded,  ///< box exceeded FleetConfig::box_deadline_seconds
+    kCancelled,         ///< operator stop drained the run before this box
     kFaultInjected,     ///< thrown by an exec::FaultPlan site
     kInternal,          ///< anything not classified above (catch-all)
 };
@@ -28,6 +30,11 @@ enum class PipelineErrorCode {
 /// Stable kebab-case name ("trace-invalid", ...); "none" / "internal" at
 /// the ends. Suitable as a metric-name suffix.
 const char* to_string(PipelineErrorCode code);
+
+/// Inverse of `to_string`, for decoding journaled box records. Throws
+/// std::invalid_argument on an unknown name (a journal from a different
+/// schema version must not decode silently).
+PipelineErrorCode error_code_from_string(const std::string& name);
 
 /// Counter name under which fleet aggregation records one increment per
 /// failed box: "robust.error." + to_string(code).

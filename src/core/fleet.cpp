@@ -2,12 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "cluster/dtw.hpp"
+#include "core/fleet_journal.hpp"
+#include "exec/journal.hpp"
 #include "exec/seed.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -81,10 +86,101 @@ void aggregate(const FleetConfig& config, FleetResult& fleet) {
     }
 }
 
+/// Background thread that periodically prods every registered per-box
+/// CancellationToken. A token self-trips when its armed deadline is read
+/// (CancellationToken::reason), so correctness never depends on this
+/// thread getting scheduled — the watchdog exists so a box stuck in a
+/// *long* stretch between cancellation points is still flagged close to
+/// its deadline rather than at the next check. Registration is
+/// mutex-protected: unwatch() returning guarantees the watchdog no longer
+/// touches the (stack-owned) token.
+class DeadlineWatchdog {
+  public:
+    explicit DeadlineWatchdog(double deadline_seconds) {
+        // Scan at ~deadline/4, clamped to [1ms, 250ms].
+        const double period = std::clamp(deadline_seconds / 4.0, 1e-3, 0.25);
+        period_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(period));
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+    DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+    ~DeadlineWatchdog() {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        wake_.notify_all();
+        thread_.join();
+    }
+
+    void watch(exec::CancellationToken* token) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        active_.push_back(token);
+    }
+
+    void unwatch(exec::CancellationToken* token) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        active_.erase(std::find(active_.begin(), active_.end(), token));
+    }
+
+  private:
+    void loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            // reason() trips an armed token whose deadline has passed.
+            for (exec::CancellationToken* token : active_) token->reason();
+            wake_.wait_for(lock, period_, [this] { return stop_; });
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<exec::CancellationToken*> active_;
+    bool stop_ = false;
+    std::chrono::nanoseconds period_{};
+    std::thread thread_;
+};
+
+/// RAII registration of a per-attempt token with the (optional) watchdog.
+class WatchdogGuard {
+  public:
+    WatchdogGuard(DeadlineWatchdog* watchdog, exec::CancellationToken* token)
+        : watchdog_(watchdog) {
+        if (watchdog_ != nullptr) {
+            token_ = token;
+            watchdog_->watch(token_);
+        }
+    }
+    WatchdogGuard(const WatchdogGuard&) = delete;
+    WatchdogGuard& operator=(const WatchdogGuard&) = delete;
+    ~WatchdogGuard() {
+        if (watchdog_ != nullptr) watchdog_->unwatch(token_);
+    }
+
+  private:
+    DeadlineWatchdog* watchdog_;
+    exec::CancellationToken* token_ = nullptr;
+};
+
+/// Transient codes re-run under FleetConfig::max_retries: injected faults
+/// re-roll their Bernoulli draws per attempt, and kInternal covers
+/// environmental flakes (the catch-all). Structural failures (bad input,
+/// infeasible solve) would fail identically again, and cancellation codes
+/// must end the box immediately.
+bool is_transient(PipelineErrorCode code) {
+    return code == PipelineErrorCode::kFaultInjected ||
+           code == PipelineErrorCode::kInternal;
+}
+
 /// Shared scheduling skeleton of both fleet drivers: validate, select,
-/// fan one task per box out on the pool, fill result slots by index, and
-/// aggregate. `evaluate_box` must be thread-compatible (it only receives
-/// the box index and writes the slot it owns).
+/// fan one task per box out on the pool, fill result slots by index
+/// (retrying transient failures, enforcing per-box deadlines, journaling
+/// and replaying when a checkpoint is configured), and aggregate.
+/// `evaluate_box` must be thread-compatible (it only receives the box
+/// index, attempt, and cancellation token, and writes the slot it owns).
 template <typename EvaluateBox>
 FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
                       const EvaluateBox& evaluate_box) {
@@ -98,6 +194,44 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     const std::vector<int> selected = select_boxes(trace, config);
     fleet.boxes_skipped = trace.boxes.size() - selected.size();
 
+    // Checkpoint journal: load the replayable prefix (resume) and open the
+    // writer. A header mismatch — different trace, result-affecting
+    // config, or seed — means the old journal answers a different
+    // question, so it is ignored and the file starts fresh.
+    std::map<int, FleetBoxResult> replayed;
+    std::optional<exec::JournalWriter> journal;
+    if (!config.checkpoint_path.empty()) {
+        const std::string header = fleet_journal_header(trace, config);
+        bool fresh = true;
+        if (config.resume) {
+            const exec::JournalLoad load =
+                exec::load_journal(config.checkpoint_path);
+            if (load.exists && load.header == header) {
+                // A record that fails to *decode* is treated like checksum
+                // corruption: keep the boxes before it, truncate the rest.
+                std::uint64_t keep_bytes = load.header_end;
+                for (std::size_t i = 0; i < load.records.size(); ++i) {
+                    FleetBoxResult box;
+                    try {
+                        box = decode_box_record(load.records[i]);
+                    } catch (const std::exception&) {
+                        break;
+                    }
+                    const int index = box.box_index;
+                    replayed.insert({index, std::move(box)});
+                    keep_bytes = load.record_ends[i];
+                }
+                journal.emplace(exec::JournalWriter::append_after(
+                    config.checkpoint_path, keep_bytes));
+                fresh = false;
+            }
+        }
+        if (fresh) {
+            journal.emplace(
+                exec::JournalWriter::create(config.checkpoint_path, header));
+        }
+    }
+
     const unsigned jobs = resolve_jobs(config.jobs);
     fleet.jobs = static_cast<int>(jobs);
     // jobs == 1 runs strictly on the calling thread; the determinism tests
@@ -105,40 +239,104 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     std::unique_ptr<exec::ThreadPool> pool;
     if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs);
 
+    std::unique_ptr<DeadlineWatchdog> watchdog;
+    if (config.box_deadline_seconds > 0.0) {
+        watchdog = std::make_unique<DeadlineWatchdog>(config.box_deadline_seconds);
+    }
+
+    const int max_attempts = 1 + std::max(0, config.max_retries);
     fleet.boxes.resize(selected.size());
     exec::parallel_for_each(pool.get(), selected.size(), [&](std::size_t task) {
         const int box_index = selected[task];
         FleetBoxResult& slot = fleet.boxes[task];
         slot.box_index = box_index;
         slot.box_name = trace.boxes[static_cast<std::size_t>(box_index)].name;
-        try {
-            const exec::FaultContext fault{
-                config.faults.empty() ? nullptr : &config.faults,
-                static_cast<std::uint64_t>(box_index)};
-            ATM_FAULT_SITE(fault, "fleet.box");
-            evaluate_box(box_index, pool.get(), slot.result);
-        } catch (const PipelineError& e) {
-            slot.error = e.what();
-            slot.error_code = e.code();
-            slot.error_stage = e.stage();
-        } catch (const exec::InjectedFault& e) {
-            slot.error = e.what();
-            slot.error_code = PipelineErrorCode::kFaultInjected;
-            slot.error_stage = e.site();
-        } catch (const std::invalid_argument& e) {
-            // Precondition violations from lower layers (shape mismatches,
-            // out-of-range days) mean the box's input was unusable.
-            slot.error = e.what();
-            slot.error_code = PipelineErrorCode::kTraceInvalid;
-            slot.error_stage = "input";
-        } catch (const std::exception& e) {
-            slot.error = e.what();
-            slot.error_code = PipelineErrorCode::kInternal;
-            slot.error_stage = "unknown";
+        // Resume: replay the journaled outcome bit-identically. The
+        // journal key is the box index (stable in trace order), so the
+        // replay is independent of worker scheduling.
+        if (const auto it = replayed.find(box_index); it != replayed.end()) {
+            const std::string name = std::move(slot.box_name);
+            slot = it->second;
+            slot.box_index = box_index;
+            slot.box_name = name;
+            return;
+        }
+        // Operator drain: boxes not yet started when the stop token trips
+        // are recorded as kCancelled — and NOT journaled, so a resume
+        // evaluates them. In-flight boxes run to completion below.
+        if (config.stop != nullptr && config.stop->cancelled()) {
+            slot.error = "cancelled before start (operator stop)";
+            slot.error_code = PipelineErrorCode::kCancelled;
+            slot.error_stage = "fleet";
+            slot.attempts = 0;
+            return;
+        }
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+            slot.error.clear();
+            slot.error_code = PipelineErrorCode::kNone;
+            slot.error_stage.clear();
+            slot.result = BoxPipelineResult{};
+            slot.attempts = attempt + 1;
+            // Fresh token — and fresh deadline budget — per attempt.
+            exec::CancellationToken box_cancel;
+            if (config.box_deadline_seconds > 0.0) {
+                box_cancel.arm_deadline_after(config.box_deadline_seconds);
+            }
+            const WatchdogGuard guard(watchdog.get(), &box_cancel);
+            try {
+                const exec::FaultContext fault{
+                    config.faults.empty() ? nullptr : &config.faults,
+                    static_cast<std::uint64_t>(box_index),
+                    static_cast<std::uint64_t>(attempt)};
+                ATM_FAULT_SITE(fault, "fleet.box");
+                evaluate_box(box_index, pool.get(),
+                             static_cast<std::uint64_t>(attempt), &box_cancel,
+                             slot.result);
+            } catch (const PipelineError& e) {
+                slot.error = e.what();
+                slot.error_code = e.code();
+                slot.error_stage = e.stage();
+            } catch (const exec::OperationCancelled& e) {
+                slot.error = e.what();
+                slot.error_code =
+                    e.reason() == exec::CancelReason::kDeadline
+                        ? PipelineErrorCode::kDeadlineExceeded
+                        : PipelineErrorCode::kCancelled;
+                slot.error_stage = e.where();
+            } catch (const exec::InjectedFault& e) {
+                slot.error = e.what();
+                slot.error_code = PipelineErrorCode::kFaultInjected;
+                slot.error_stage = e.site();
+            } catch (const std::invalid_argument& e) {
+                // Precondition violations from lower layers (shape
+                // mismatches, out-of-range days) mean the box's input was
+                // unusable.
+                slot.error = e.what();
+                slot.error_code = PipelineErrorCode::kTraceInvalid;
+                slot.error_stage = "input";
+            } catch (const std::exception& e) {
+                slot.error = e.what();
+                slot.error_code = PipelineErrorCode::kInternal;
+                slot.error_stage = "unknown";
+            }
+            if (slot.error.empty() || !is_transient(slot.error_code)) break;
+        }
+        // Journal the outcome — success or *settled* failure. Deadline and
+        // cancellation outcomes are excluded on purpose: they describe
+        // this run's interruption, not the box, and a resume should
+        // evaluate such boxes for real.
+        if (journal &&
+            slot.error_code != PipelineErrorCode::kDeadlineExceeded &&
+            slot.error_code != PipelineErrorCode::kCancelled) {
+            journal->append(encode_box_record(slot));
         }
     });
 
     aggregate(config, fleet);
+    for (const FleetBoxResult& b : fleet.boxes) {
+        if (replayed.count(b.box_index) != 0) ++fleet.boxes_replayed;
+    }
+    fleet.interrupted = config.stop != nullptr && config.stop->cancelled();
     if (config.collect_metrics) {
         // Trace order, so the fleet merge is independent of scheduling.
         for (const FleetBoxResult& b : fleet.boxes) {
@@ -150,6 +348,20 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
         for (const FleetBoxResult& b : fleet.boxes) {
             if (!b.error.empty()) {
                 fleet.metrics.counters[error_counter_name(b.error_code)] += 1;
+            }
+        }
+        // Retry counters, synthesized from the slots in trace order (not
+        // incremented inside workers), so they are schedule-independent
+        // and identical between a fresh run and a resumed one that
+        // replayed the retried boxes.
+        for (const FleetBoxResult& b : fleet.boxes) {
+            if (b.attempts <= 1) continue;
+            fleet.metrics.counters["robust.retry.attempts"] +=
+                static_cast<std::uint64_t>(b.attempts - 1);
+            if (b.error.empty()) {
+                fleet.metrics.counters["robust.retry.recovered"] += 1;
+            } else {
+                fleet.metrics.counters["robust.retry.exhausted"] += 1;
             }
         }
     }
@@ -185,6 +397,16 @@ std::string FleetConfig::validate() const {
     if (jobs < 0) {
         add("jobs must be >= 0 (0 = hardware concurrency), got " +
             std::to_string(jobs));
+    }
+    if (max_retries < 0) {
+        add("max_retries must be >= 0, got " + std::to_string(max_retries));
+    }
+    if (box_deadline_seconds < 0.0) {
+        add("box_deadline_seconds must be > 0 (or 0 to disable), got " +
+            std::to_string(box_deadline_seconds));
+    }
+    if (resume && checkpoint_path.empty()) {
+        add("resume requires a non-empty checkpoint_path");
     }
     return problems;
 }
@@ -224,12 +446,20 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
     return run_fleet(
         trace, config,
         [&trace, &config](int box_index, exec::ThreadPool* pool,
+                          std::uint64_t attempt,
+                          const exec::CancellationToken* cancel,
                           BoxPipelineResult& out) {
             PipelineConfig box_config = config.pipeline;
             // Per-box seed from (fleet seed, box index): independent of
-            // worker count and scheduling order, distinct per box.
-            box_config.seed = static_cast<unsigned>(exec::derive_seed(
-                config.pipeline.seed, static_cast<std::uint64_t>(box_index)));
+            // worker count and scheduling order, distinct per box. Retry
+            // attempts extend the chain with the attempt number — attempt
+            // 0 keeps the historical derivation, so clean runs (and the
+            // golden suite) are unchanged.
+            std::uint64_t seed = exec::derive_seed(
+                config.pipeline.seed, static_cast<std::uint64_t>(box_index));
+            if (attempt != 0) seed = exec::derive_seed(seed, attempt);
+            box_config.seed = static_cast<unsigned>(seed);
+            box_config.cancel = cancel;
             // Let the box borrow the fleet pool for its DTW matrix and
             // memoize the matrix across the cluster sweep.
             cluster::DtwMatrixCache dtw_cache;
@@ -246,7 +476,7 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
                 &trace.boxes[static_cast<std::size_t>(box_index)];
             const exec::FaultContext fault{
                 config.faults.empty() ? nullptr : &config.faults,
-                static_cast<std::uint64_t>(box_index)};
+                static_cast<std::uint64_t>(box_index), attempt};
             box_config.fault = fault;
             // Data faults mutate the trace, so the box is copied first —
             // only when a corruption/truncation rule is actually armed.
@@ -284,6 +514,8 @@ FleetResult evaluate_resize_on_fleet(const trace::Trace& trace, int day,
                                      const FleetConfig& config) {
     return run_fleet(trace, config,
                      [&trace, &config, day](int box_index, exec::ThreadPool*,
+                                            std::uint64_t /*attempt*/,
+                                            const exec::CancellationToken*,
                                             BoxPipelineResult& out) {
                          std::optional<obs::MetricsRegistry> registry;
                          if (config.collect_metrics) registry.emplace();

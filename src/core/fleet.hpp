@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "exec/cancel.hpp"
 
 namespace atm::core {
 
@@ -51,6 +52,42 @@ struct FleetConfig {
     /// entirely. Parse a CLI `--fault-spec` with exec::FaultPlan::parse.
     exec::FaultPlan faults;
 
+    /// Crash-safe checkpoint journal (DESIGN.md §7.12): when non-empty,
+    /// every finished box is appended (framed + fsync'd) to this file as
+    /// it completes, under a header binding (trace fingerprint, config
+    /// digest, seed). Empty (the default) disables journaling.
+    std::string checkpoint_path;
+
+    /// Resume from `checkpoint_path`: boxes already journaled by a
+    /// matching previous run are replayed bit-identically instead of
+    /// recomputed, so a resumed run's FleetResult equals an uninterrupted
+    /// one (modulo wall_seconds/jobs/boxes_replayed). A journal whose
+    /// header does not match the current trace + config is ignored and
+    /// the run starts fresh. Requires a non-empty `checkpoint_path`.
+    bool resume = false;
+
+    /// Extra attempts for boxes that fail with a *transient* code
+    /// (kFaultInjected, kInternal). Attempt k > 0 re-derives the box seed
+    /// and all fault draws from (seed, box, k) via splitmix64, so retry
+    /// outcomes are schedule-independent and bit-identical across `jobs`.
+    /// 0 (the default) disables retries.
+    int max_retries = 0;
+
+    /// Per-box wall-clock deadline in seconds; a box exceeding it is
+    /// cooperatively cancelled at its next cancellation point and
+    /// recorded as kDeadlineExceeded (each retry attempt gets a fresh
+    /// budget). Deadline-exceeded boxes are not journaled, so a resume
+    /// retries them. 0 (the default) disables the deadline. Note this
+    /// knob is inherently wall-clock: results of *timed-out* boxes can
+    /// vary across machines; boxes that finish are unaffected.
+    double box_deadline_seconds = 0.0;
+
+    /// Optional operator stop token (not owned). Once cancelled, boxes
+    /// not yet started are recorded as kCancelled (and not journaled)
+    /// while in-flight boxes run to completion and are journaled — the
+    /// graceful-drain half of the CLI's SIGINT handling.
+    const exec::CancellationToken* stop = nullptr;
+
     /// Empty string when the configuration is usable; otherwise a
     /// human-readable description of every out-of-range value.
     [[nodiscard]] std::string validate() const;
@@ -78,6 +115,10 @@ struct FleetBoxResult {
     PipelineErrorCode error_code = PipelineErrorCode::kNone;
     /// Stage (or fault site) the failure came from; empty on success.
     std::string error_stage;
+    /// Attempts consumed: 1 on the clean path, 1 + retries when the
+    /// transient-failure retry loop engaged, 0 for a box cancelled by an
+    /// operator stop before it ever started.
+    int attempts = 1;
 };
 
 /// Fleet-level outcome: per-box results plus cross-box aggregates.
@@ -118,6 +159,14 @@ struct FleetResult {
     /// Worker count actually used (jobs after hardware-concurrency
     /// resolution).
     int jobs = 0;
+    /// Boxes replayed bit-identically from the resume journal instead of
+    /// recomputed. Like wall_seconds/jobs, excluded from the
+    /// resume-equivalence contract (it describes how the run executed,
+    /// not what it computed).
+    std::size_t boxes_replayed = 0;
+    /// True when FleetConfig::stop drained this run: some boxes were
+    /// recorded as kCancelled without being evaluated (or journaled).
+    bool interrupted = false;
 
     [[nodiscard]] std::size_t boxes_evaluated() const {
         return boxes.size() - boxes_failed;
@@ -129,7 +178,10 @@ struct FleetResult {
 /// `config.validate()` reports problems. Deterministic: per-box seeds are
 /// splitmix64-derived from (config.pipeline.seed, box index), per-box DTW
 /// matrices are memoized, and results land in trace order — `jobs = 1`
-/// and `jobs = N` produce bit-identical results.
+/// and `jobs = N` produce bit-identical results. With
+/// `checkpoint_path`/`resume` set the run is additionally crash-safe:
+/// finished boxes are journaled as they complete and a resumed run
+/// replays them bit-identically (DESIGN.md §7.12).
 FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
                                   const FleetConfig& config);
 

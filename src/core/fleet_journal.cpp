@@ -1,0 +1,258 @@
+#include "core/fleet_journal.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "exec/journal.hpp"
+#include "obs/json.hpp"
+
+namespace atm::core {
+namespace {
+
+using obs::json::Value;
+
+/// Streaming digest helpers on the journal's FNV-1a chain. Every numeric
+/// field is fed as its exact bit pattern (doubles via memcpy, never via
+/// text), so the digest is stable across locales and formatting.
+void mix_bytes(std::uint64_t& hash, const void* data, std::size_t size) {
+    hash = exec::fnv1a64_mix(
+        hash, std::string_view(static_cast<const char*>(data), size));
+}
+
+void mix_u64(std::uint64_t& hash, std::uint64_t value) {
+    mix_bytes(hash, &value, sizeof(value));
+}
+
+void mix_double(std::uint64_t& hash, double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix_u64(hash, bits);
+}
+
+void mix_string(std::uint64_t& hash, const std::string& text) {
+    // Length-prefixed so ("ab","c") and ("a","bc") digest differently.
+    mix_u64(hash, text.size());
+    mix_bytes(hash, text.data(), text.size());
+}
+
+std::string hex16(std::uint64_t value) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+Value int_array(const std::vector<int>& values) {
+    Value array = Value::make_array();
+    for (const int v : values) {
+        array.array.push_back(Value::of(static_cast<std::int64_t>(v)));
+    }
+    return array;
+}
+
+std::vector<int> int_array_from(const Value& value) {
+    std::vector<int> values;
+    values.reserve(value.array.size());
+    for (const Value& v : value.array) {
+        values.push_back(static_cast<int>(v.as_int()));
+    }
+    return values;
+}
+
+}  // namespace
+
+std::uint64_t trace_fingerprint(const trace::Trace& trace) {
+    std::uint64_t hash = exec::kFnv1a64Offset;
+    mix_u64(hash, static_cast<std::uint64_t>(trace.windows_per_day));
+    mix_u64(hash, trace.boxes.size());
+    for (const trace::BoxTrace& box : trace.boxes) {
+        mix_string(hash, box.name);
+        mix_u64(hash, box.has_gaps ? 1 : 0);
+        mix_double(hash, box.cpu_capacity_ghz);
+        mix_double(hash, box.ram_capacity_gb);
+        mix_u64(hash, box.vms.size());
+        for (const trace::VmTrace& vm : box.vms) {
+            mix_string(hash, vm.name);
+            mix_double(hash, vm.cpu_capacity_ghz);
+            mix_double(hash, vm.ram_capacity_gb);
+            for (const ts::Series* series :
+                 {&vm.cpu_usage_pct, &vm.ram_usage_pct, &vm.cpu_demand_ghz,
+                  &vm.ram_demand_gb}) {
+                const std::vector<double>& values = series->values();
+                mix_u64(hash, values.size());
+                mix_bytes(hash, values.data(),
+                          values.size() * sizeof(double));
+            }
+        }
+    }
+    return hash;
+}
+
+std::uint64_t fleet_config_digest(const FleetConfig& config) {
+    std::uint64_t hash = exec::kFnv1a64Offset;
+    const PipelineConfig& p = config.pipeline;
+    // Pipeline knobs.
+    mix_u64(hash, static_cast<std::uint64_t>(p.search.method));
+    mix_double(hash, p.search.rho_threshold);
+    mix_double(hash, p.search.vif_threshold);
+    mix_u64(hash, p.search.apply_stepwise ? 1 : 0);
+    mix_u64(hash, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(p.search.dtw_band)));
+    mix_u64(hash, static_cast<std::uint64_t>(p.search.linkage));
+    mix_u64(hash, static_cast<std::uint64_t>(p.temporal));
+    mix_u64(hash, static_cast<std::uint64_t>(p.train_days));
+    mix_double(hash, p.alpha);
+    mix_double(hash, p.epsilon_pct);
+    mix_u64(hash, p.use_lower_bounds ? 1 : 0);
+    mix_u64(hash, static_cast<std::uint64_t>(p.scope));
+    mix_u64(hash, p.seed);
+    mix_double(hash, p.max_bad_sample_fraction);
+    // Fleet selection / evaluation knobs.
+    mix_u64(hash, config.skip_gappy_boxes ? 1 : 0);
+    mix_u64(hash, config.box_names.size());
+    for (const std::string& name : config.box_names) mix_string(hash, name);
+    mix_u64(hash, static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(config.max_boxes)));
+    mix_u64(hash, config.policies.size());
+    for (const resize::ResizePolicy policy : config.policies) {
+        mix_u64(hash, static_cast<std::uint64_t>(policy));
+    }
+    mix_u64(hash, config.collect_metrics ? 1 : 0);
+    mix_u64(hash, static_cast<std::uint64_t>(config.max_retries));
+    // Chaos plan: seed plus every rule.
+    mix_u64(hash, config.faults.seed);
+    mix_u64(hash, config.faults.rules.size());
+    for (const exec::FaultRule& rule : config.faults.rules) {
+        mix_string(hash, rule.site);
+        mix_u64(hash, static_cast<std::uint64_t>(rule.action));
+        mix_double(hash, rule.rate);
+    }
+    return hash;
+}
+
+std::string fleet_journal_header(const trace::Trace& trace,
+                                 const FleetConfig& config) {
+    Value header = Value::make_object();
+    header.set("schema", Value::of(kFleetJournalSchema));
+    // u64 digests as hex strings: doubles only hold 53 exact bits.
+    header.set("fingerprint", Value::of(hex16(trace_fingerprint(trace))));
+    header.set("config", Value::of(hex16(fleet_config_digest(config))));
+    header.set("seed",
+               Value::of(static_cast<std::uint64_t>(config.pipeline.seed)));
+    return obs::json::serialize(header, 0);
+}
+
+std::string encode_box_record(const FleetBoxResult& box) {
+    Value record = Value::make_object();
+    record.set("box", Value::of(static_cast<std::int64_t>(box.box_index)));
+    record.set("name", Value::of(box.box_name));
+    record.set("attempts",
+               Value::of(static_cast<std::int64_t>(box.attempts)));
+    if (!box.error.empty()) {
+        record.set("error", Value::of(box.error));
+        record.set("code", Value::of(to_string(box.error_code)));
+        record.set("stage", Value::of(box.error_stage));
+        return obs::json::serialize(record, 0);
+    }
+    const BoxPipelineResult& r = box.result;
+    Value result = Value::make_object();
+    Value search = Value::make_object();
+    search.set("signatures", int_array(r.search.signatures));
+    search.set("initial", int_array(r.search.initial_signatures));
+    search.set("clusters",
+               Value::of(static_cast<std::int64_t>(r.search.num_clusters)));
+    search.set("silhouette", Value::of(r.search.silhouette));
+    result.set("search", std::move(search));
+    result.set("ape_all", Value::of(r.ape_all));
+    result.set("ape_peak", Value::of(r.ape_peak));
+    Value pred = Value::make_array();
+    for (const std::vector<double>& series : r.predicted_demands) {
+        Value row = Value::make_array();
+        for (const double v : series) row.array.push_back(Value::of(v));
+        pred.array.push_back(std::move(row));
+    }
+    result.set("pred", std::move(pred));
+    Value policies = Value::make_array();
+    for (const PolicyTickets& tickets : r.policies) {
+        Value entry = Value::make_object();
+        entry.set("policy", Value::of(static_cast<std::int64_t>(
+                                static_cast<int>(tickets.policy))));
+        entry.set("cpu_before",
+                  Value::of(static_cast<std::int64_t>(tickets.cpu_before)));
+        entry.set("cpu_after",
+                  Value::of(static_cast<std::int64_t>(tickets.cpu_after)));
+        entry.set("ram_before",
+                  Value::of(static_cast<std::int64_t>(tickets.ram_before)));
+        entry.set("ram_after",
+                  Value::of(static_cast<std::int64_t>(tickets.ram_after)));
+        policies.array.push_back(std::move(entry));
+    }
+    result.set("policies", std::move(policies));
+    Value degradations = Value::make_array();
+    for (const Degradation& d : r.degradations) {
+        Value entry = Value::make_object();
+        entry.set("code", Value::of(to_string(d.code)));
+        entry.set("stage", Value::of(d.stage));
+        entry.set("detail", Value::of(d.detail));
+        degradations.array.push_back(std::move(entry));
+    }
+    result.set("degradations", std::move(degradations));
+    result.set("metrics", obs::json::to_json(r.metrics));
+    record.set("result", std::move(result));
+    return obs::json::serialize(record, 0);
+}
+
+FleetBoxResult decode_box_record(const std::string& payload) {
+    const Value record = obs::json::parse(payload);
+    FleetBoxResult box;
+    box.box_index = static_cast<int>(record.at("box").as_int());
+    box.box_name = record.at("name").as_string();
+    box.attempts = static_cast<int>(record.at("attempts").as_int());
+    if (record.has("error")) {
+        box.error = record.at("error").as_string();
+        box.error_code = error_code_from_string(record.at("code").as_string());
+        box.error_stage = record.at("stage").as_string();
+        return box;
+    }
+    const Value& result = record.at("result");
+    BoxPipelineResult& r = box.result;
+    const Value& search = result.at("search");
+    r.search.signatures = int_array_from(search.at("signatures"));
+    r.search.initial_signatures = int_array_from(search.at("initial"));
+    r.search.num_clusters = static_cast<int>(search.at("clusters").as_int());
+    r.search.silhouette = search.at("silhouette").as_double();
+    r.ape_all = result.at("ape_all").as_double();
+    r.ape_peak = result.at("ape_peak").as_double();
+    for (const Value& row : result.at("pred").array) {
+        std::vector<double> series;
+        series.reserve(row.array.size());
+        for (const Value& v : row.array) series.push_back(v.as_double());
+        r.predicted_demands.push_back(std::move(series));
+    }
+    for (const Value& entry : result.at("policies").array) {
+        PolicyTickets tickets;
+        const std::int64_t policy = entry.at("policy").as_int();
+        if (policy < 0 ||
+            policy > static_cast<std::int64_t>(resize::ResizePolicy::kStingy)) {
+            throw std::runtime_error("fleet journal: policy id out of range");
+        }
+        tickets.policy = static_cast<resize::ResizePolicy>(policy);
+        tickets.cpu_before = static_cast<int>(entry.at("cpu_before").as_int());
+        tickets.cpu_after = static_cast<int>(entry.at("cpu_after").as_int());
+        tickets.ram_before = static_cast<int>(entry.at("ram_before").as_int());
+        tickets.ram_after = static_cast<int>(entry.at("ram_after").as_int());
+        r.policies.push_back(tickets);
+    }
+    for (const Value& entry : result.at("degradations").array) {
+        Degradation d;
+        d.code = error_code_from_string(entry.at("code").as_string());
+        d.stage = entry.at("stage").as_string();
+        d.detail = entry.at("detail").as_string();
+        r.degradations.push_back(std::move(d));
+    }
+    r.metrics = obs::json::snapshot_from_json(result.at("metrics"));
+    return box;
+}
+
+}  // namespace atm::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/fleet.hpp"
+
+namespace atm::core {
+
+/// Schema tag of the fleet checkpoint journal's header record. Bump when
+/// the record encoding changes incompatibly: a resume against an older
+/// journal then starts fresh instead of mis-decoding.
+inline constexpr const char* kFleetJournalSchema = "atm.fleet-journal.v1";
+
+/// Digest of everything about the *input data* that affects per-box
+/// results: windows_per_day, per-box names/gap flags/VM counts and the
+/// exact bit patterns of every sample. Two traces with the same
+/// fingerprint produce the same fleet results for a given config.
+[[nodiscard]] std::uint64_t trace_fingerprint(const trace::Trace& trace);
+
+/// Digest of every FleetConfig field that affects per-box *results*.
+/// Execution-only knobs are deliberately excluded so a journal stays
+/// valid across them: `jobs` (results are schedule-independent by
+/// contract), `checkpoint_path`/`resume` (the journal itself),
+/// `box_deadline_seconds` and the stop token (interrupted boxes are never
+/// journaled, so resuming with a longer deadline just retries them).
+[[nodiscard]] std::uint64_t fleet_config_digest(const FleetConfig& config);
+
+/// The journal's header payload: one compact JSON line binding the file
+/// to (schema, trace fingerprint, config digest, seed). A resume whose
+/// header does not match byte-for-byte ignores the old journal and
+/// starts fresh.
+[[nodiscard]] std::string fleet_journal_header(const trace::Trace& trace,
+                                               const FleetConfig& config);
+
+/// Encodes one completed box outcome as a compact single-line JSON
+/// payload for exec::JournalWriter. Everything that feeds the fleet
+/// aggregates and the resume-equivalence contract is included: the error
+/// triple or the full BoxPipelineResult (search, APEs, predicted demands,
+/// policy tickets, degradations, metrics snapshot) plus the attempt
+/// count. Doubles are serialized at full precision, so a decoded record
+/// is bit-identical to the in-memory original.
+[[nodiscard]] std::string encode_box_record(const FleetBoxResult& box);
+
+/// Inverse of encode_box_record. Throws std::runtime_error (or the JSON
+/// parser's errors) on malformed payloads; the fleet driver treats a
+/// record that fails to decode like checksum corruption — the journal is
+/// truncated to the records before it.
+[[nodiscard]] FleetBoxResult decode_box_record(const std::string& payload);
+
+}  // namespace atm::core

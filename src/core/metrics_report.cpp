@@ -1,7 +1,6 @@
 #include "core/metrics_report.hpp"
 
-#include <fstream>
-#include <stdexcept>
+#include "exec/io.hpp"
 
 namespace atm::core {
 
@@ -49,16 +48,9 @@ void write_metrics_report_file(const std::string& path,
                                const std::string& command,
                                const obs::MetricsSnapshot& extra) {
     const obs::json::Value report = build_metrics_report(fleet, command, extra);
-    std::ofstream out(path);
-    if (!out) {
-        throw std::runtime_error("write_metrics_report_file: cannot open " +
-                                 path);
-    }
-    out << obs::json::serialize(report, 2) << '\n';
-    if (!out) {
-        throw std::runtime_error("write_metrics_report_file: write failed: " +
-                                 path);
-    }
+    // Atomic (temp + rename): a crash or SIGKILL mid-write leaves either
+    // the previous report or the new one, never a truncated file.
+    exec::write_file_atomic(path, obs::json::serialize(report, 2) + '\n');
 }
 
 }  // namespace atm::core

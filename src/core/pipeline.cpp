@@ -30,6 +30,14 @@ void note_degradation(BoxPipelineResult& result, obs::MetricsRegistry* metrics,
         Degradation{code, std::move(stage), std::move(detail)});
 }
 
+/// Cancellation must escape the degradation ladder: every rung's catch
+/// block calls this first, so a box cancelled mid-stage (deadline or
+/// operator stop) aborts instead of "recovering" onto a fallback and
+/// burning the rest of its budget. Only valid inside a catch block.
+void rethrow_if_cancelled(const std::exception& e) {
+    if (dynamic_cast<const exec::OperationCancelled*>(&e) != nullptr) throw;
+}
+
 /// Classifies an in-flight exception for degradation bookkeeping:
 /// injected faults and PipelineErrors keep their own code; anything else
 /// gets the rung's default code.
@@ -55,6 +63,7 @@ void run_policies_for_kind(
     const std::vector<resize::ResizePolicy>& policies,
     std::vector<PolicyTickets>& results, obs::MetricsRegistry* metrics,
     const exec::FaultContext& fault,
+    const exec::CancellationToken* cancel,
     std::vector<Degradation>* degradations) {
     const std::size_t m = box.vms.size();
 
@@ -64,6 +73,7 @@ void run_policies_for_kind(
     input.alpha = alpha;
     input.lower_bounds = lower_bounds;
     input.metrics = metrics;
+    input.cancel = cancel;
     input.current_capacities.resize(m);
     for (std::size_t i = 0; i < m; ++i) {
         input.current_capacities[i] = box.vms[i].capacity(kind);
@@ -105,6 +115,7 @@ void run_policies_for_kind(
                                  " infeasible under capacity budget";
             }
         } catch (const std::exception& e) {
+            rethrow_if_cancelled(e);
             degrade_code =
                 classify_current(e, PipelineErrorCode::kResizeInfeasible);
             degrade_detail =
@@ -143,6 +154,7 @@ const std::vector<resize::ResizePolicy>& default_policies() {
 BoxPipelineResult run_pipeline_on_box(
     const trace::BoxTrace& box, int windows_per_day, const PipelineConfig& config,
     const std::vector<resize::ResizePolicy>& policies) {
+    exec::checkpoint(config.cancel, "pipeline.start");
     ATM_FAULT_SITE(config.fault, "pipeline.start");
     if (box.vms.empty()) {
         throw PipelineError(PipelineErrorCode::kTraceInvalid, "input",
@@ -167,6 +179,7 @@ BoxPipelineResult run_pipeline_on_box(
     // is not trustworthy and is rejected, otherwise bad samples are zeroed
     // and gap-repaired so every later stage sees finite, non-negative data.
     {
+        exec::checkpoint(config.cancel, "pipeline.sanitize");
         ATM_FAULT_SITE(config.fault, "pipeline.sanitize");
         std::size_t total_samples = 0;
         std::size_t bad_samples = 0;
@@ -257,9 +270,11 @@ BoxPipelineResult run_pipeline_on_box(
     // --- signature search + spatial model on the training window -----------
     {
         obs::ScopedTimer timer(metrics, "stage.search");
+        exec::checkpoint(config.cancel, "pipeline.search");
         ATM_FAULT_SITE(config.fault, "pipeline.search");
         SignatureSearchOptions search = config.search;
         search.metrics = metrics;
+        search.cancel = config.cancel;
         try {
             ATM_FAULT_SITE(config.fault, "search.step1");
             result.search = find_signatures(scoped_train, search);
@@ -272,6 +287,7 @@ BoxPipelineResult run_pipeline_on_box(
                                     "search", "silhouette undefined");
             }
         } catch (const std::exception& e) {
+            rethrow_if_cancelled(e);
             const PipelineErrorCode code =
                 classify_current(e, PipelineErrorCode::kSearchDegenerate);
             result.search = SignatureSearchResult{};
@@ -287,6 +303,7 @@ BoxPipelineResult run_pipeline_on_box(
     SpatialModel spatial;
     {
         obs::ScopedTimer timer(metrics, "stage.spatial_fit");
+        exec::checkpoint(config.cancel, "pipeline.spatial");
         ATM_FAULT_SITE(config.fault, "pipeline.spatial");
         try {
             ATM_FAULT_SITE(config.fault, "spatial.ols");
@@ -298,6 +315,7 @@ BoxPipelineResult run_pipeline_on_box(
                                      " dependent series refit with ridge");
             }
         } catch (const std::exception& e) {
+            rethrow_if_cancelled(e);
             // Even ridge failed (or a fault fired): collapse to the
             // all-signature set, which has no regressions left to solve.
             const PipelineErrorCode code =
@@ -315,13 +333,14 @@ BoxPipelineResult run_pipeline_on_box(
     signature_forecasts.reserve(spatial.signature_indices().size());
     {
         obs::ScopedTimer timer(metrics, "stage.forecast");
+        exec::checkpoint(config.cancel, "pipeline.forecast");
         ATM_FAULT_SITE(config.fault, "pipeline.forecast");
         const auto fit_and_forecast = [&](forecast::TemporalModel model,
                                           int s) -> std::vector<double> {
             const std::string model_name = forecast::to_string(model);
             auto forecaster = forecast::make_forecaster(
                 model, windows_per_day, config.seed + static_cast<unsigned>(s),
-                metrics);
+                metrics, config.cancel);
             {
                 obs::ScopedTimer fit_timer(metrics, "forecast.fit." + model_name);
                 forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);
@@ -368,6 +387,7 @@ BoxPipelineResult run_pipeline_on_box(
                                 forecast::to_string(ladder[a]));
                     }
                 } catch (const std::exception& e) {
+                    rethrow_if_cancelled(e);
                     if (first_code == PipelineErrorCode::kNone) {
                         first_code = classify_current(
                             e, PipelineErrorCode::kModelFitFailed);
@@ -386,6 +406,7 @@ BoxPipelineResult run_pipeline_on_box(
     }
 
     // --- spatial reconstruction of every scoped series -----------------------
+    exec::checkpoint(config.cancel, "pipeline.reconstruct");
     ATM_FAULT_SITE(config.fault, "pipeline.reconstruct");
     obs::ScopedTimer reconstruct_timer(metrics, "stage.reconstruct");
     const std::vector<std::vector<double>> scoped_pred =
@@ -399,6 +420,7 @@ BoxPipelineResult run_pipeline_on_box(
     reconstruct_timer.stop();
 
     // --- prediction accuracy on the evaluation day ---------------------------
+    exec::checkpoint(config.cancel, "pipeline.accuracy");
     ATM_FAULT_SITE(config.fault, "pipeline.accuracy");
     obs::ScopedTimer accuracy_timer(metrics, "stage.accuracy");
     double ape_sum = 0.0;
@@ -446,6 +468,7 @@ BoxPipelineResult run_pipeline_on_box(
         result.policies[p].policy = policies[p];
     }
 
+    exec::checkpoint(config.cancel, "pipeline.resize");
     ATM_FAULT_SITE(config.fault, "pipeline.resize");
     obs::ScopedTimer resize_timer(metrics, "stage.resize");
     const std::size_t m = box.vms.size();
@@ -483,7 +506,7 @@ BoxPipelineResult run_pipeline_on_box(
         run_policies_for_kind(box, kind, policy_demands, actual_eval, lower_bounds,
                               config.alpha, config.epsilon_pct, policies,
                               result.policies, metrics, config.fault,
-                              &result.degradations);
+                              config.cancel, &result.degradations);
     }
     resize_timer.stop();
     if (metrics != nullptr) result.metrics = metrics->snapshot();
@@ -533,7 +556,7 @@ std::vector<PolicyTickets> evaluate_resize_policies_on_actuals(
         }
         run_policies_for_kind(box, kind, day_demands, day_demands, lower_bounds,
                               alpha, epsilon_pct, policies, results, metrics,
-                              exec::FaultContext{}, nullptr);
+                              exec::FaultContext{}, nullptr, nullptr);
     }
     return results;
 }

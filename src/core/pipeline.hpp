@@ -5,6 +5,7 @@
 #include "core/errors.hpp"
 #include "core/signature_search.hpp"
 #include "core/spatial_model.hpp"
+#include "exec/cancel.hpp"
 #include "exec/fault.hpp"
 #include "forecast/forecaster.hpp"
 #include "obs/metrics.hpp"
@@ -45,6 +46,13 @@ struct PipelineConfig {
     /// Chaos-testing context (see exec/fault.hpp). Default (null plan) is
     /// inert: every ATM_FAULT_SITE reduces to one pointer test.
     exec::FaultContext fault;
+    /// Optional cooperative-cancellation token (not owned). Checked at
+    /// every stage boundary and inside the long loops (DTW pairs, MLP
+    /// epochs, MCKP iterations); a tripped token aborts the box with
+    /// exec::OperationCancelled, which the degradation ladder re-throws
+    /// instead of treating as a recoverable stage failure. Null (the
+    /// default) makes every check a single pointer test.
+    const exec::CancellationToken* cancel = nullptr;
     /// Optional stage-metrics sink (not owned). When set, the pipeline
     /// records per-stage timers (`stage.search`, `stage.spatial_fit`,
     /// `stage.forecast`, `stage.reconstruct`, `stage.accuracy`,

@@ -63,10 +63,12 @@ SignatureSearchResult find_signatures(
         const la::FlatMatrix* dist;
         if (options.dtw_cache != nullptr) {
             dist = &options.dtw_cache->matrix(series, options.dtw_band,
-                                              options.pool, metrics);
+                                              options.pool, metrics,
+                                              options.cancel);
         } else {
             local = cluster::dtw_distance_matrix(series, options.dtw_band,
-                                                 options.pool, metrics);
+                                                 options.pool, metrics,
+                                                 options.cancel);
             dist = &local;
         }
         // k in [2, n/2] per the paper ("we aim to reduce the original set to

@@ -7,6 +7,7 @@
 
 namespace atm::exec {
 class ThreadPool;
+class CancellationToken;
 }
 namespace atm::cluster {
 class DtwMatrixCache;
@@ -58,6 +59,10 @@ struct SignatureSearchOptions {
     /// `search.final_signatures`), the clustering silhouette gauge, and
     /// is forwarded to the DTW matrix / cache and the VIF reduction.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional cooperative-cancellation token (not owned), forwarded to
+    /// the DTW distance matrix, which checks it once per series pair —
+    /// the search's only super-linear loop. Null disables the checks.
+    const exec::CancellationToken* cancel = nullptr;
 };
 
 /// Result of the signature search over a box's series set.

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "exec/io.hpp"
+
 namespace atm::exec {
 namespace {
 
@@ -165,17 +167,14 @@ void require_writable_file(const std::string& flag, const std::string& path) {
     if (path.empty()) {
         throw ArgParseError("--" + flag + ": empty path");
     }
-    bool existed = false;
-    if (std::FILE* probe = std::fopen(path.c_str(), "rb"); probe != nullptr) {
-        existed = true;
-        std::fclose(probe);
+    // Probe via the atomic-write temp file the eventual writer stages
+    // through: the target itself is never opened, so a run that passes the
+    // probe but later fails cannot have clobbered an existing report.
+    std::string reason;
+    if (!probe_writable_path(path, &reason)) {
+        throw ArgParseError("--" + flag + ": cannot write '" + path +
+                            "': " + reason);
     }
-    std::FILE* out = std::fopen(path.c_str(), "ab");
-    if (out == nullptr) {
-        throw ArgParseError("--" + flag + ": cannot write '" + path + "'");
-    }
-    std::fclose(out);
-    if (!existed) std::remove(path.c_str());
 }
 
 void ArgParser::print_help(std::FILE* out) const {

@@ -72,12 +72,14 @@ private:
     std::vector<Spec> options_;
 };
 
-/// Validates that `path` can be opened for writing *now*, so output-path
-/// typos fail fast as a usage error instead of silently losing a report
-/// after minutes of compute. Probes by opening in append mode (an
-/// existing file's contents are untouched); a probe that had to create
-/// the file removes it again. Throws ArgParseError naming `flag` when the
-/// path cannot be written.
+/// Validates that `path` can be written *now*, so output-path typos fail
+/// fast as a usage error instead of silently losing a report after
+/// minutes of compute. Probes by creating (then removing) the
+/// exec::atomic_temp_path sibling that write_file_atomic will stage
+/// through — the target itself is never opened, so an existing file's
+/// contents cannot be touched even if the run later dies. Rejects
+/// directories. Throws ArgParseError naming `flag` when the path cannot
+/// be written.
 void require_writable_file(const std::string& flag, const std::string& path);
 
 }  // namespace atm::exec

@@ -138,8 +138,11 @@ void FaultContext::check_site(const char* site) const {
     const std::string name(site);
     for (const FaultRule& rule : plan->rules) {
         if (rule.action != FaultAction::kThrow || rule.site != name) continue;
-        const std::uint64_t key =
+        std::uint64_t key =
             derive_seed(derive_seed(plan->seed, entity), hash_site(name));
+        // Retries re-roll: attempt 0 keeps the historical key chain so
+        // existing plans (and the golden chaos runs) are unchanged.
+        if (attempt != 0) key = derive_seed(key, attempt);
         if (uniform01(key) < rule.rate) throw InjectedFault(name);
     }
 }
@@ -155,9 +158,10 @@ std::uint64_t FaultContext::corrupt_samples(std::span<double> xs,
         // Key chain: seed -> entity -> (stream, rule) -> sample index. Each
         // sample decision is independent of evaluation order, so the same
         // plan corrupts the same samples regardless of --jobs.
-        const std::uint64_t base = derive_seed(
+        std::uint64_t base = derive_seed(
             derive_seed(plan->seed, entity),
             derive_seed(stream, rule_index + hash_site(rule.site)));
+        if (attempt != 0) base = derive_seed(base, attempt);
         for (std::size_t t = 0; t < xs.size(); ++t) {
             if (uniform01(derive_seed(base, t)) >= rule.rate) continue;
             switch (rule.action) {
@@ -195,8 +199,9 @@ std::size_t FaultContext::truncated_length(std::size_t length) const {
         if (rule.action != FaultAction::kTruncate || rule.site != "series") {
             continue;
         }
-        const std::uint64_t key =
+        std::uint64_t key =
             derive_seed(derive_seed(plan->seed, entity), kTruncateStream);
+        if (attempt != 0) key = derive_seed(key, attempt);
         if (uniform01(key) < rule.rate) return length - length / 4;
     }
     return length;

@@ -79,6 +79,12 @@ struct FaultPlan {
 struct FaultContext {
     const FaultPlan* plan = nullptr;
     std::uint64_t entity = 0;  ///< box index within the trace
+    /// Retry attempt (0 = first try). Mixed into every draw key *only*
+    /// when non-zero, so attempt-0 draws are bit-identical to a context
+    /// without the field — and a retried box re-rolls all of its fault
+    /// draws, letting `max_retries` recover boxes whose per-attempt
+    /// Bernoullis clear. Deterministic in (seed, entity, attempt, site).
+    std::uint64_t attempt = 0;
 
     /// Throws InjectedFault if a kThrow rule for `site` fires for this
     /// entity. Deterministic in (plan->seed, entity, site).

@@ -1,0 +1,98 @@
+#include "exec/io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace atm::exec {
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw std::runtime_error("write_file_atomic: " + what + " '" + path +
+                             "': " + std::strerror(errno));
+}
+
+/// Directory portion of `path` ("." when there is none), for the
+/// post-rename directory fsync.
+std::string parent_dir(const std::string& path) {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos) return ".";
+    if (slash == 0) return "/";
+    return path.substr(0, slash);
+}
+
+/// fsync the containing directory so the rename is on disk. Best-effort:
+/// some filesystems refuse O_RDONLY on directories, and losing only the
+/// rename (not the data) still leaves a consistent old-or-new state.
+void fsync_dir(const std::string& dir) {
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+}  // namespace
+
+std::string atomic_temp_path(const std::string& path) { return path + ".tmp"; }
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+    const std::string temp = atomic_temp_path(path);
+    const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("cannot create temp file", temp);
+
+    std::size_t written = 0;
+    while (written < contents.size()) {
+        const ssize_t n = ::write(fd, contents.data() + written,
+                                  contents.size() - written);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            ::close(fd);
+            ::unlink(temp.c_str());
+            fail("write failed for", temp);
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(temp.c_str());
+        fail("fsync failed for", temp);
+    }
+    if (::close(fd) != 0) {
+        ::unlink(temp.c_str());
+        fail("close failed for", temp);
+    }
+    if (::rename(temp.c_str(), path.c_str()) != 0) {
+        ::unlink(temp.c_str());
+        fail("cannot rename temp file over", path);
+    }
+    fsync_dir(parent_dir(path));
+}
+
+bool probe_writable_path(const std::string& path, std::string* error) {
+    if (path.empty()) {
+        if (error != nullptr) *error = "empty path";
+        return false;
+    }
+    // fopen(dir, "ab") "succeeds" on some platforms; reject directories
+    // explicitly so the error names the real problem.
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+        if (error != nullptr) *error = "is a directory";
+        return false;
+    }
+    const std::string temp = atomic_temp_path(path);
+    const int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (error != nullptr) *error = std::strerror(errno);
+        return false;
+    }
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return true;
+}
+
+}  // namespace atm::exec

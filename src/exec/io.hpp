@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace atm::exec {
+
+/// The sibling temp path `write_file_atomic` stages through: "<path>.tmp",
+/// in the same directory so the final rename never crosses a filesystem.
+/// Exposed so `require_writable_file` can probe exactly the path a later
+/// write will use.
+[[nodiscard]] std::string atomic_temp_path(const std::string& path);
+
+/// Crash-safe whole-file write: stage `contents` into atomic_temp_path(),
+/// fsync it, then rename over `path` (and best-effort fsync the directory
+/// so the rename itself is durable). Readers never observe a truncated
+/// file — they see either the old contents or the new ones, even across
+/// SIGKILL or power loss mid-write. Throws std::runtime_error (with errno
+/// text) on failure, after unlinking the temp file.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Probes that `path` will be writable by creating (then removing) the
+/// atomic-write temp file next to it. The target itself is never opened,
+/// so a failed probe — or a run that later dies — cannot clobber an
+/// existing file at `path`. Returns false with a reason in `*error` when
+/// the path is empty, is a directory, or the temp file cannot be created.
+bool probe_writable_path(const std::string& path, std::string* error);
+
+}  // namespace atm::exec

@@ -11,7 +11,8 @@ namespace atm::forecast {
 
 std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
                                             int seasonal_period, unsigned seed,
-                                            obs::MetricsRegistry* metrics) {
+                                            obs::MetricsRegistry* metrics,
+                                            const exec::CancellationToken* cancel) {
     switch (model) {
         case TemporalModel::kSeasonalNaive:
             return std::make_unique<SeasonalNaiveForecaster>(
@@ -23,6 +24,7 @@ std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
             options.seasonal_period = seasonal_period;
             options.train.seed = seed;
             options.train.metrics = metrics;
+            options.train.cancel = cancel;
             return std::make_unique<MlpForecaster>(options);
         }
         case TemporalModel::kHoltWinters:
@@ -31,11 +33,14 @@ std::unique_ptr<Forecaster> make_forecaster(TemporalModel model,
         case TemporalModel::kEnsemble: {
             std::vector<std::unique_ptr<Forecaster>> members;
             members.push_back(make_forecaster(TemporalModel::kAutoregressive,
-                                              seasonal_period, seed, metrics));
+                                              seasonal_period, seed, metrics,
+                                              cancel));
             members.push_back(make_forecaster(TemporalModel::kHoltWinters,
-                                              seasonal_period, seed, metrics));
+                                              seasonal_period, seed, metrics,
+                                              cancel));
             members.push_back(make_forecaster(TemporalModel::kNeuralNetwork,
-                                              seasonal_period, seed, metrics));
+                                              seasonal_period, seed, metrics,
+                                              cancel));
             return std::make_unique<EnsembleForecaster>(std::move(members));
         }
     }

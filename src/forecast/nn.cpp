@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::forecast {
@@ -177,6 +178,9 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
 
     int epochs_run = 0;
     for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        // Cancellation point: one atomic load per epoch, so a box past its
+        // deadline stops mid-training instead of finishing all epochs.
+        exec::checkpoint(options.cancel, "forecast.mlp.epoch");
         ++epochs_run;
         std::shuffle(order.begin(), order.end(), shuffle_rng);
         double train_loss = 0.0;

@@ -5,6 +5,9 @@
 #include <span>
 #include <vector>
 
+namespace atm::exec {
+class CancellationToken;
+}
 namespace atm::obs {
 class MetricsRegistry;
 }
@@ -37,6 +40,11 @@ struct MlpTrainOptions {
     /// `forecast.mlp.epochs` / `forecast.mlp.examples` counters. Early
     /// stopping is seed-deterministic, so both counters are too.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional cooperative-cancellation token (not owned): train()
+    /// checks it at the top of every epoch ("forecast.mlp.epoch") and
+    /// aborts with exec::OperationCancelled when tripped. Null disables
+    /// the check.
+    const exec::CancellationToken* cancel = nullptr;
 };
 
 /// Reusable forward/backprop scratch for MlpNetwork: per-layer

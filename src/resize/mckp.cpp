@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::resize {
@@ -48,7 +49,8 @@ MckpSolution assemble(const MckpInstance& instance, std::vector<int> choice,
 }  // namespace
 
 MckpSolution solve_mckp_greedy(const MckpInstance& instance,
-                               obs::MetricsRegistry* metrics) {
+                               obs::MetricsRegistry* metrics,
+                               const exec::CancellationToken* cancel) {
     validate(instance);
     const std::size_t n = instance.groups.size();
     std::vector<int> choice(n, 0);  // start: max capacity = fewest tickets
@@ -60,6 +62,9 @@ MckpSolution solve_mckp_greedy(const MckpInstance& instance,
 
     std::uint64_t iterations = 0;
     while (used > instance.total_capacity + 1e-9) {
+        // Cancellation point every 64 downgrades: cheap relative to the
+        // O(n) scan below, frequent enough for deadline responsiveness.
+        if ((iterations & 63u) == 0) exec::checkpoint(cancel, "resize.mckp");
         double best_mtrv = std::numeric_limits<double>::infinity();
         std::size_t best_i = n;
         double best_current_cap = -1.0;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "exec/fault.hpp"
+#include "exec/io.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::trace {
@@ -91,9 +92,12 @@ void write_trace_csv(std::ostream& out, const Trace& trace) {
 }
 
 void write_trace_csv_file(const std::string& path, const Trace& trace) {
-    std::ofstream out(path);
-    if (!out) throw std::runtime_error("write_trace_csv_file: cannot open " + path);
+    // Serialize to memory, then publish atomically (temp + rename): an
+    // interrupted `atm generate` never leaves a half-written trace that a
+    // later run would silently load as a shorter fleet.
+    std::ostringstream out;
     write_trace_csv(out, trace);
+    exec::write_file_atomic(path, out.str());
 }
 
 Trace read_trace_csv(std::istream& in, int windows_per_day,

@@ -17,6 +17,9 @@
 #include "cluster/dtw.hpp"
 #include "core/fleet.hpp"
 #include "exec/arg_parser.hpp"
+#include "exec/cancel.hpp"
+#include "exec/io.hpp"
+#include "exec/journal.hpp"
 #include "exec/seed.hpp"
 #include "exec/thread_pool.hpp"
 #include "tracegen/generator.hpp"
@@ -518,6 +521,216 @@ TEST(ArgParserTest, HelpReturnsFalse) {
     EXPECT_FALSE(proceed);
     EXPECT_NE(help.find("usage: tool"), std::string::npos);
     EXPECT_NE(help.find("--boxes"), std::string::npos);
+}
+
+// ------------------------------------------------------------- atomic writes
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spill(const std::string& path, const std::string& contents) {
+    std::ofstream out(path, std::ios::binary);
+    out << contents;
+}
+
+TEST(AtomicWriteTest, WritesNewFileAndRemovesTemp) {
+    const std::string path = testing::TempDir() + "atm_atomic_new.txt";
+    std::remove(path.c_str());
+    exec::write_file_atomic(path, "hello\n");
+    EXPECT_EQ(slurp(path), "hello\n");
+    // The staging file must not survive a successful publish.
+    std::ifstream temp(exec::atomic_temp_path(path));
+    EXPECT_FALSE(temp.good());
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, ReplacesExistingContentsWhole) {
+    const std::string path = testing::TempDir() + "atm_atomic_replace.txt";
+    spill(path, "old contents, longer than the replacement");
+    exec::write_file_atomic(path, "new");
+    // rename() replaces the whole file: no stale tail from the old data.
+    EXPECT_EQ(slurp(path), "new");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, FailureLeavesTargetUntouched) {
+    const std::string path = "/nonexistent-dir-atm/out.json";
+    EXPECT_THROW(exec::write_file_atomic(path, "x"), std::runtime_error);
+}
+
+TEST(ProbeWritablePathTest, ProbesViaTempAndNeverTouchesTarget) {
+    const std::string path = testing::TempDir() + "atm_probe_target.json";
+    spill(path, "precious");
+    std::string error;
+    EXPECT_TRUE(exec::probe_writable_path(path, &error)) << error;
+    EXPECT_EQ(slurp(path), "precious");  // target never opened
+    std::ifstream temp(exec::atomic_temp_path(path));
+    EXPECT_FALSE(temp.good());  // probe cleaned up after itself
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(exec::probe_writable_path("", &error));
+    EXPECT_FALSE(exec::probe_writable_path(testing::TempDir(), &error));
+    EXPECT_NE(error.find("directory"), std::string::npos);
+    EXPECT_FALSE(exec::probe_writable_path("/nonexistent-dir-atm/x", &error));
+}
+
+// ------------------------------------------------------------------- journal
+
+TEST(JournalTest, FrameEmbedsLengthAndChecksum) {
+    const std::string frame = exec::frame_journal_record("payload");
+    ASSERT_GT(frame.size(), 26u);
+    EXPECT_EQ(frame.substr(26, 7), "payload");
+    EXPECT_EQ(frame.back(), '\n');
+    // Newlines would tear the framing; the writer must reject them.
+    EXPECT_THROW(exec::frame_journal_record("two\nlines"), std::invalid_argument);
+}
+
+TEST(JournalTest, MissingFileLoadsAsAbsent) {
+    const exec::JournalLoad load =
+        exec::load_journal(testing::TempDir() + "atm_journal_missing.jsonl");
+    EXPECT_FALSE(load.exists);
+    EXPECT_TRUE(load.header.empty());
+    EXPECT_TRUE(load.records.empty());
+    EXPECT_EQ(load.valid_bytes, 0u);
+}
+
+TEST(JournalTest, CreateAppendLoadRoundTrips) {
+    const std::string path = testing::TempDir() + "atm_journal_roundtrip.jsonl";
+    std::remove(path.c_str());
+    {
+        exec::JournalWriter writer = exec::JournalWriter::create(path, "header");
+        writer.append("first");
+        writer.append("second");
+    }
+    const exec::JournalLoad load = exec::load_journal(path);
+    EXPECT_TRUE(load.exists);
+    EXPECT_FALSE(load.dropped_tail);
+    EXPECT_EQ(load.header, "header");
+    EXPECT_EQ(load.records, (std::vector<std::string>{"first", "second"}));
+    EXPECT_EQ(load.valid_bytes, load.record_ends.back());
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, TornTailIsDroppedNotFatal) {
+    const std::string path = testing::TempDir() + "atm_journal_torn.jsonl";
+    std::remove(path.c_str());
+    {
+        exec::JournalWriter writer = exec::JournalWriter::create(path, "h");
+        writer.append("intact");
+    }
+    // Simulate a crash mid-write: half a frame, no trailing newline.
+    const std::string torn = exec::frame_journal_record("lost");
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << torn.substr(0, torn.size() / 2);
+    out.close();
+
+    const exec::JournalLoad load = exec::load_journal(path);
+    EXPECT_TRUE(load.dropped_tail);
+    EXPECT_EQ(load.header, "h");
+    EXPECT_EQ(load.records, std::vector<std::string>{"intact"});
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, ChecksumMismatchTruncatesFromTheBadRecord) {
+    const std::string path = testing::TempDir() + "atm_journal_corrupt.jsonl";
+    std::remove(path.c_str());
+    std::string good_tail;
+    {
+        exec::JournalWriter writer = exec::JournalWriter::create(path, "h");
+        writer.append("keep");
+    }
+    // A record whose payload was flipped after the checksum was computed —
+    // and a perfectly framed record after it, which must ALSO be dropped
+    // (append order is the recovery contract; no holes).
+    std::string bad = exec::frame_journal_record("flipme");
+    bad[26] = 'F';
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << bad << exec::frame_journal_record("after-the-hole");
+    out.close();
+
+    const exec::JournalLoad load = exec::load_journal(path);
+    EXPECT_TRUE(load.dropped_tail);
+    EXPECT_EQ(load.records, std::vector<std::string>{"keep"});
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, AppendAfterPhysicallyRemovesTheTornTail) {
+    const std::string path = testing::TempDir() + "atm_journal_append.jsonl";
+    std::remove(path.c_str());
+    {
+        exec::JournalWriter writer = exec::JournalWriter::create(path, "h");
+        writer.append("one");
+    }
+    std::ofstream(path, std::ios::binary | std::ios::app) << "garbage tail";
+    const exec::JournalLoad load = exec::load_journal(path);
+    ASSERT_TRUE(load.dropped_tail);
+    {
+        exec::JournalWriter writer =
+            exec::JournalWriter::append_after(path, load.valid_bytes);
+        writer.append("two");
+    }
+    const exec::JournalLoad reloaded = exec::load_journal(path);
+    EXPECT_FALSE(reloaded.dropped_tail);
+    EXPECT_EQ(reloaded.records, (std::vector<std::string>{"one", "two"}));
+    std::remove(path.c_str());
+}
+
+TEST(JournalTest, AppendIsThreadSafe) {
+    const std::string path = testing::TempDir() + "atm_journal_mt.jsonl";
+    std::remove(path.c_str());
+    {
+        exec::JournalWriter writer = exec::JournalWriter::create(path, "h");
+        exec::ThreadPool pool(4);
+        exec::parallel_for_each(&pool, 64, [&writer](std::size_t i) {
+            writer.append("record-" + std::to_string(i));
+        });
+    }
+    const exec::JournalLoad load = exec::load_journal(path);
+    EXPECT_FALSE(load.dropped_tail);  // frames never interleave
+    std::set<std::string> seen(load.records.begin(), load.records.end());
+    EXPECT_EQ(seen.size(), 64u);
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- cancellation
+
+TEST(CancellationTokenTest, FirstReasonWins) {
+    exec::CancellationToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.cancel(exec::CancelReason::kDeadline);
+    token.cancel(exec::CancelReason::kStop);  // too late: no-op
+    EXPECT_EQ(token.reason(), exec::CancelReason::kDeadline);
+    try {
+        token.check("unit.test");
+        FAIL() << "expected OperationCancelled";
+    } catch (const exec::OperationCancelled& e) {
+        EXPECT_EQ(e.reason(), exec::CancelReason::kDeadline);
+        EXPECT_EQ(e.where(), "unit.test");
+    }
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineSelfTrips) {
+    exec::CancellationToken token;
+    token.arm_deadline_after(1e-9);
+    // No watchdog anywhere: the next observation must trip the token.
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), exec::CancelReason::kDeadline);
+
+    exec::CancellationToken patient;
+    patient.arm_deadline_after(3600.0);
+    EXPECT_FALSE(patient.cancelled());
+    patient.arm_deadline_after(0.0);  // disarm
+    EXPECT_FALSE(patient.cancelled());
+}
+
+TEST(CancellationTokenTest, CheckpointToleratesNullToken) {
+    EXPECT_NO_THROW(exec::checkpoint(nullptr, "anywhere"));
+    exec::CancellationToken live;
+    EXPECT_NO_THROW(exec::checkpoint(&live, "anywhere"));
+    live.cancel(exec::CancelReason::kStop);
+    EXPECT_THROW(exec::checkpoint(&live, "anywhere"), exec::OperationCancelled);
 }
 
 }  // namespace

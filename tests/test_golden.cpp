@@ -23,6 +23,7 @@
 #include <string>
 
 #include "core/fleet.hpp"
+#include "exec/io.hpp"
 #include "obs/json.hpp"
 #include "tracegen/generator.hpp"
 
@@ -183,10 +184,9 @@ TEST(GoldenFleetTest, MatchesCheckedInGoldenRun) {
 
     if (const char* update = std::getenv("ATM_UPDATE_GOLDEN");
         update != nullptr && std::string(update) == "1") {
-        std::ofstream out(kGoldenFile);
-        ASSERT_TRUE(out) << "cannot write " << kGoldenFile;
-        out << json::serialize(actual, 2) << '\n';
-        ASSERT_TRUE(out.good());
+        // Atomic write: an interrupted regen must not truncate the
+        // checked-in golden file.
+        exec::write_file_atomic(kGoldenFile, json::serialize(actual, 2) + '\n');
         GTEST_SKIP() << "golden file regenerated at " << kGoldenFile
                      << "; review the diff and re-run without "
                         "ATM_UPDATE_GOLDEN";

@@ -9,6 +9,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <set>
 #include <string>
@@ -17,7 +19,9 @@
 #include "core/fleet.hpp"
 #include "core/pipeline.hpp"
 #include "core/spatial_model.hpp"
+#include "exec/cancel.hpp"
 #include "exec/fault.hpp"
+#include "exec/journal.hpp"
 #include "tracegen/generator.hpp"
 
 namespace atm {
@@ -366,9 +370,13 @@ void expect_fleet_equal(const core::FleetResult& a, const core::FleetResult& b) 
         EXPECT_EQ(ra.error, rb.error) << "box " << i;
         EXPECT_EQ(ra.error_code, rb.error_code) << "box " << i;
         EXPECT_EQ(ra.error_stage, rb.error_stage) << "box " << i;
+        EXPECT_EQ(ra.attempts, rb.attempts) << "box " << i;
         EXPECT_EQ(ra.result.ape_all, rb.result.ape_all) << "box " << i;
         EXPECT_EQ(ra.result.ape_peak, rb.result.ape_peak) << "box " << i;
         EXPECT_EQ(ra.result.search.signatures, rb.result.search.signatures);
+        // Bit-identity of the raw predictions, not just the summary APEs.
+        EXPECT_EQ(ra.result.predicted_demands, rb.result.predicted_demands)
+            << "box " << i;
         ASSERT_EQ(ra.result.degradations.size(), rb.result.degradations.size())
             << "box " << i;
         for (std::size_t d = 0; d < ra.result.degradations.size(); ++d) {
@@ -380,7 +388,9 @@ void expect_fleet_equal(const core::FleetResult& a, const core::FleetResult& b) 
         }
         ASSERT_EQ(ra.result.policies.size(), rb.result.policies.size());
         for (std::size_t p = 0; p < ra.result.policies.size(); ++p) {
+            EXPECT_EQ(ra.result.policies[p].cpu_before, rb.result.policies[p].cpu_before);
             EXPECT_EQ(ra.result.policies[p].cpu_after, rb.result.policies[p].cpu_after);
+            EXPECT_EQ(ra.result.policies[p].ram_before, rb.result.policies[p].ram_before);
             EXPECT_EQ(ra.result.policies[p].ram_after, rb.result.policies[p].ram_after);
         }
     }
@@ -416,6 +426,304 @@ TEST(ChaosFleetTest, MixedPlanIsBitIdenticalAcrossJobCounts) {
     // The mixed plan must actually exercise both outcomes.
     EXPECT_GT(a.boxes_failed, 0u);
     EXPECT_LT(a.boxes_failed, a.boxes.size());
+}
+
+// --------------------------------------------------------- checkpoint/resume
+
+/// Fresh temp path for a journal (removing any leftover from a prior run).
+std::string journal_path(const char* name) {
+    const std::string path = testing::TempDir() + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+/// Rebuilds a journal at `dst` holding `src`'s header and its first
+/// `keep_records` records — the journal an interrupted run would have left
+/// behind had it been killed at that point.
+void truncate_journal(const std::string& src, const std::string& dst,
+                      std::size_t keep_records) {
+    const exec::JournalLoad load = exec::load_journal(src);
+    ASSERT_TRUE(load.exists);
+    ASSERT_FALSE(load.header.empty());
+    ASSERT_LE(keep_records, load.records.size());
+    exec::JournalWriter writer = exec::JournalWriter::create(dst, load.header);
+    for (std::size_t i = 0; i < keep_records; ++i) {
+        writer.append(load.records[i]);
+    }
+}
+
+TEST(CheckpointResumeTest, ResumedRunIsBitIdenticalFromEveryCutPoint) {
+    const trace::Trace t = chaos_trace(6);
+    // A mixed plan so the journal holds successes, degraded boxes, AND
+    // settled failures — all three must replay faithfully.
+    const std::string spec = "samples=nan@0.05,pipeline.search=throw@0.3";
+    const std::string full = journal_path("atm_resume_full.jsonl");
+
+    core::FleetConfig fresh = chaos_config(spec, 13);
+    fresh.checkpoint_path = full;
+    const core::FleetResult baseline = core::run_pipeline_on_fleet(t, fresh);
+    EXPECT_GT(baseline.boxes_failed, 0u);
+    EXPECT_LT(baseline.boxes_failed, baseline.boxes.size());
+    EXPECT_EQ(baseline.boxes_replayed, 0u);
+    ASSERT_EQ(exec::load_journal(full).records.size(), 6u);
+
+    const std::string cut = journal_path("atm_resume_cut.jsonl");
+    for (const std::size_t keep : {0u, 1u, 3u, 5u, 6u}) {
+        SCOPED_TRACE("cut at " + std::to_string(keep));
+        for (const int jobs : {1, 8}) {
+            SCOPED_TRACE("jobs=" + std::to_string(jobs));
+            truncate_journal(full, cut, keep);
+            core::FleetConfig resume = chaos_config(spec, 13);
+            resume.checkpoint_path = cut;
+            resume.resume = true;
+            resume.jobs = jobs;
+            const core::FleetResult resumed =
+                core::run_pipeline_on_fleet(t, resume);
+            EXPECT_EQ(resumed.boxes_replayed, keep);
+            expect_fleet_equal(baseline, resumed);
+            // The resumed run re-journals what it recomputed: the cut
+            // journal is complete again and a further resume is all-replay.
+            EXPECT_EQ(exec::load_journal(cut).records.size(), 6u);
+        }
+    }
+    std::remove(full.c_str());
+    std::remove(cut.c_str());
+}
+
+TEST(CheckpointResumeTest, TornTailAndCorruptRecordsAreRecovered) {
+    const trace::Trace t = chaos_trace(4);
+    const std::string full = journal_path("atm_resume_crash.jsonl");
+    core::FleetConfig fresh = chaos_config("", 1);
+    fresh.checkpoint_path = full;
+    const core::FleetResult baseline = core::run_pipeline_on_fleet(t, fresh);
+
+    // Torn tail: a crash mid-append leaves half a frame. The intact prefix
+    // replays; the torn box is recomputed.
+    const exec::JournalLoad load = exec::load_journal(full);
+    ASSERT_EQ(load.records.size(), 4u);
+    {
+        truncate_journal(full, full, 3u);
+        const std::string tail = exec::frame_journal_record(load.records[3]);
+        std::ofstream out(full, std::ios::binary | std::ios::app);
+        out << tail.substr(0, tail.size() / 2);
+    }
+    core::FleetConfig resume = chaos_config("", 1);
+    resume.checkpoint_path = full;
+    resume.resume = true;
+    const core::FleetResult after_tear = core::run_pipeline_on_fleet(t, resume);
+    EXPECT_EQ(after_tear.boxes_replayed, 3u);
+    expect_fleet_equal(baseline, after_tear);
+
+    // Checksum corruption inside a record: that record and everything
+    // after it are dropped; the run still converges to the same result.
+    {
+        truncate_journal(full, full, 2u);
+        std::string bad = exec::frame_journal_record(load.records[2]);
+        bad[26] = bad[26] == 'x' ? 'y' : 'x';
+        std::ofstream out(full, std::ios::binary | std::ios::app);
+        out << bad << exec::frame_journal_record(load.records[3]);
+    }
+    const core::FleetResult after_corruption =
+        core::run_pipeline_on_fleet(t, resume);
+    EXPECT_EQ(after_corruption.boxes_replayed, 2u);
+    expect_fleet_equal(baseline, after_corruption);
+    std::remove(full.c_str());
+}
+
+TEST(CheckpointResumeTest, HeaderMismatchStartsFreshInsteadOfReplayingLies) {
+    const trace::Trace t = chaos_trace(4);
+    const std::string path = journal_path("atm_resume_header.jsonl");
+    core::FleetConfig first = chaos_config("", 1);
+    first.checkpoint_path = path;
+    core::run_pipeline_on_fleet(t, first);
+    ASSERT_EQ(exec::load_journal(path).records.size(), 4u);
+
+    // Same journal, different pipeline seed: the journaled results answer
+    // a different question and must NOT be replayed.
+    core::FleetConfig other = chaos_config("", 1);
+    other.checkpoint_path = path;
+    other.resume = true;
+    other.pipeline.seed = 43;
+    const core::FleetResult resumed = core::run_pipeline_on_fleet(t, other);
+    EXPECT_EQ(resumed.boxes_replayed, 0u);
+
+    core::FleetConfig clean = chaos_config("", 1);
+    clean.pipeline.seed = 43;
+    expect_fleet_equal(core::run_pipeline_on_fleet(t, clean), resumed);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- retries
+
+TEST(RetryTest, TransientFaultsAreRetriedWithFreshDraws) {
+    const trace::Trace t = chaos_trace(8);
+    core::FleetConfig config = chaos_config("pipeline.forecast=throw@0.4", 3);
+    config.max_retries = 2;
+    const int max_attempts = 1 + config.max_retries;
+
+    // Ground truth from the plan itself: per-attempt draws are keyed on
+    // (box, attempt), so the test can predict every box's attempt count.
+    std::size_t expect_recovered = 0;
+    std::vector<int> expect_attempts(8, 0);
+    std::vector<bool> expect_failed(8, false);
+    for (int b = 0; b < 8; ++b) {
+        int attempts = 0;
+        bool failed = true;
+        for (int a = 0; a < max_attempts; ++a) {
+            ++attempts;
+            const exec::FaultContext ctx{&config.faults,
+                                         static_cast<std::uint64_t>(b),
+                                         static_cast<std::uint64_t>(a)};
+            try {
+                ctx.check_site("pipeline.forecast");
+                failed = false;
+                break;
+            } catch (const exec::InjectedFault&) {
+            }
+        }
+        expect_attempts[static_cast<std::size_t>(b)] = attempts;
+        expect_failed[static_cast<std::size_t>(b)] = failed;
+        if (!failed && attempts > 1) ++expect_recovered;
+    }
+    ASSERT_GT(expect_recovered, 0u);  // seed chosen so retries matter
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(fleet.boxes.size(), 8u);
+    std::uint64_t extra_attempts = 0;
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        const auto i = static_cast<std::size_t>(b.box_index);
+        EXPECT_EQ(b.attempts, expect_attempts[i]) << "box " << i;
+        EXPECT_EQ(!b.error.empty(), expect_failed[i]) << "box " << i;
+        if (expect_failed[i]) {
+            EXPECT_EQ(b.error_code, PipelineErrorCode::kFaultInjected);
+            EXPECT_EQ(b.attempts, max_attempts);  // exhausted, not abandoned
+        }
+        extra_attempts += static_cast<std::uint64_t>(
+            b.attempts > 1 ? b.attempts - 1 : 0);
+    }
+    EXPECT_EQ(fleet.metrics.counter("robust.retry.attempts"), extra_attempts);
+    EXPECT_EQ(fleet.metrics.counter("robust.retry.recovered"), expect_recovered);
+
+    // The retry schedule is part of the determinism contract.
+    core::FleetConfig pooled = config;
+    pooled.jobs = 8;
+    expect_fleet_equal(fleet, core::run_pipeline_on_fleet(t, pooled));
+}
+
+TEST(RetryTest, NonTransientFailuresAreNotRetried) {
+    const trace::Trace t = chaos_trace(4);
+    // Heavy data corruption rejects boxes with kTraceInvalid — a verdict
+    // about the input, which retrying cannot change.
+    core::FleetConfig config = chaos_config("samples=nan@0.9", 2);
+    config.max_retries = 3;
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+    EXPECT_EQ(fleet.boxes_failed, 4u);
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        EXPECT_EQ(b.error_code, PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(b.attempts, 1);
+    }
+    EXPECT_EQ(fleet.metrics.counter("robust.retry.attempts"), 0u);
+}
+
+// ---------------------------------------------------------------- deadlines
+
+TEST(DeadlineTest, ImpossibleDeadlineFailsEveryBoxWithoutStalling) {
+    const trace::Trace t = chaos_trace(4);
+    core::FleetConfig config = chaos_config("", 1);
+    config.box_deadline_seconds = 1e-9;
+    const std::string path = journal_path("atm_deadline.jsonl");
+    config.checkpoint_path = path;
+
+    const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
+    ASSERT_EQ(fleet.boxes.size(), 4u);
+    EXPECT_EQ(fleet.boxes_failed, 4u);
+    for (const core::FleetBoxResult& b : fleet.boxes) {
+        EXPECT_EQ(b.error_code, PipelineErrorCode::kDeadlineExceeded);
+        EXPECT_FALSE(b.error_stage.empty());  // names the cancellation point
+        EXPECT_EQ(b.attempts, 1);             // deadline is not transient
+    }
+    EXPECT_EQ(fleet.failures_by_code.at(PipelineErrorCode::kDeadlineExceeded),
+              4u);
+    EXPECT_EQ(fleet.metrics.counter("robust.error.deadline-exceeded"), 4u);
+
+    // Deadline outcomes describe THIS run's interruption, not the box:
+    // they are never journaled, so a resume without the deadline gets to
+    // evaluate every box for real.
+    EXPECT_TRUE(exec::load_journal(path).records.empty());
+    core::FleetConfig resume = chaos_config("", 1);
+    resume.checkpoint_path = path;
+    resume.resume = true;
+    const core::FleetResult resumed = core::run_pipeline_on_fleet(t, resume);
+    EXPECT_EQ(resumed.boxes_replayed, 0u);
+    EXPECT_EQ(resumed.boxes_failed, 0u);
+    expect_fleet_equal(core::run_pipeline_on_fleet(t, chaos_config("", 1)),
+                       resumed);
+    std::remove(path.c_str());
+}
+
+TEST(DeadlineTest, GenerousDeadlineChangesNothing) {
+    const trace::Trace t = chaos_trace(4);
+    const core::FleetResult plain =
+        core::run_pipeline_on_fleet(t, chaos_config("", 1));
+    core::FleetConfig config = chaos_config("", 1);
+    config.box_deadline_seconds = 3600.0;
+    expect_fleet_equal(plain, core::run_pipeline_on_fleet(t, config));
+}
+
+// -------------------------------------------------------------- stop token
+
+TEST(StopTokenTest, PreCancelledStopDrainsEveryBoxAndResumeFinishesTheJob) {
+    const trace::Trace t = chaos_trace(4);
+    const std::string path = journal_path("atm_drain.jsonl");
+    exec::CancellationToken stop;
+    stop.cancel(exec::CancelReason::kStop);
+
+    core::FleetConfig config = chaos_config("", 1);
+    config.checkpoint_path = path;
+    config.stop = &stop;
+    const core::FleetResult drained = core::run_pipeline_on_fleet(t, config);
+    EXPECT_TRUE(drained.interrupted);
+    ASSERT_EQ(drained.boxes.size(), 4u);
+    for (const core::FleetBoxResult& b : drained.boxes) {
+        EXPECT_EQ(b.error_code, PipelineErrorCode::kCancelled);
+        EXPECT_EQ(b.attempts, 0);  // never started
+    }
+    // Drained boxes are not journaled: nothing false to replay.
+    EXPECT_TRUE(exec::load_journal(path).records.empty());
+
+    core::FleetConfig resume = chaos_config("", 1);
+    resume.checkpoint_path = path;
+    resume.resume = true;
+    const core::FleetResult resumed = core::run_pipeline_on_fleet(t, resume);
+    EXPECT_FALSE(resumed.interrupted);
+    EXPECT_EQ(resumed.boxes_failed, 0u);
+    expect_fleet_equal(core::run_pipeline_on_fleet(t, chaos_config("", 1)),
+                       resumed);
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ config checks
+
+TEST(ResilienceConfigTest, ValidateReportsExactMessages) {
+    {
+        core::FleetConfig config;
+        config.max_retries = -1;
+        EXPECT_EQ(config.validate(), "max_retries must be >= 0, got -1");
+    }
+    {
+        core::FleetConfig config;
+        config.box_deadline_seconds = -1.0;
+        EXPECT_EQ(config.validate(),
+                  "box_deadline_seconds must be > 0 (or 0 to disable), got " +
+                      std::to_string(-1.0));
+    }
+    {
+        core::FleetConfig config;
+        config.resume = true;
+        EXPECT_EQ(config.validate(), "resume requires a non-empty checkpoint_path");
+        config.checkpoint_path = "journal.jsonl";
+        EXPECT_TRUE(config.validate().empty());
+    }
 }
 
 // -------------------------------------------------- degradation ladder units

@@ -17,6 +17,7 @@
 // so real monitoring exports can be analyzed the same way as synthetic
 // traces.
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "core/fleet.hpp"
 #include "core/metrics_report.hpp"
 #include "exec/arg_parser.hpp"
+#include "exec/cancel.hpp"
 #include "forecast/backtest.hpp"
 #include "obs/metrics.hpp"
 #include "ticketing/characterization.hpp"
@@ -34,6 +36,27 @@
 namespace {
 
 using namespace atm;
+
+/// Operator stop token for the fleet subcommands. `cancel()` is
+/// async-signal-safe (a relaxed atomic CAS), so the SIGINT handler may
+/// trip it directly.
+exec::CancellationToken g_stop;  // NOLINT(cert-err58-cpp)
+
+extern "C" void handle_sigint(int) {
+    if (g_stop.cancelled()) {
+        // Second Ctrl-C: the operator wants out *now*. Restore the
+        // default disposition and re-raise so the shell sees a real
+        // SIGINT death; the journal already holds every completed box.
+        std::signal(SIGINT, SIG_DFL);
+        std::raise(SIGINT);
+        return;
+    }
+    g_stop.cancel(exec::CancelReason::kStop);
+}
+
+/// First SIGINT drains (finish in-flight boxes, journal them, write
+/// partial outputs); second SIGINT kills.
+void install_sigint_drain() { std::signal(SIGINT, handle_sigint); }
 
 /// Shared model/threshold flags of the prediction-driven subcommands.
 void add_pipeline_flags(exec::ArgParser& parser) {
@@ -51,6 +74,16 @@ void add_pipeline_flags(exec::ArgParser& parser) {
                 "chaos testing: comma-separated site=action[@rate] rules "
                 "(e.g. samples=nan@0.01,pipeline.forecast=throw@0.5)")
         .option("fault-seed", "42", "seed for the deterministic fault plan")
+        .option("checkpoint", "",
+                "append-only journal of completed boxes; enables --resume "
+                "after a crash or kill")
+        .option("max-retries", "0",
+                "extra attempts per box on transient failures")
+        .option("box-deadline", "0",
+                "per-box wall-clock deadline in seconds; 0 = none")
+        .flag("resume",
+              "replay boxes already recorded in --checkpoint instead of "
+              "recomputing them")
         .flag("include-gappy", "also evaluate boxes with monitoring gaps");
 }
 
@@ -99,6 +132,18 @@ core::FleetConfig fleet_config_from_flags(const exec::ArgParser& parser) {
         exec::require_writable_file("metrics-out", metrics_out);
         config.collect_metrics = true;
     }
+
+    // Resilience knobs (DESIGN.md §7.12). The journal path must be
+    // writable up front — discovering it isn't after an hour of fleet
+    // work would defeat the point.
+    if (const std::string& checkpoint = parser.get("checkpoint");
+        !checkpoint.empty()) {
+        exec::require_writable_file("checkpoint", checkpoint);
+        config.checkpoint_path = checkpoint;
+    }
+    config.resume = parser.get_flag("resume");
+    config.max_retries = parser.get_int("max-retries");
+    config.box_deadline_seconds = parser.get_double("box-deadline");
 
     // Reproducible chaos runs (see DESIGN.md §7.11); a malformed spec is a
     // usage error reported before any work starts.
@@ -178,6 +223,8 @@ int cmd_predict(int argc, char** argv) {
 
     core::FleetConfig config = fleet_config_from_flags(parser);
     config.policies.clear();  // prediction only, no resizing
+    install_sigint_drain();
+    config.stop = &g_stop;
     // Trace loading happens outside any box pipeline, so its metrics live
     // in a CLI-owned registry merged into the report as `extra`.
     obs::MetricsRegistry cli_metrics(config.collect_metrics);
@@ -187,6 +234,8 @@ int cmd_predict(int argc, char** argv) {
 
     const core::FleetResult fleet = core::run_pipeline_on_fleet(t, config);
 
+    // Partial outputs are still written on an interrupted (drained) run:
+    // the report is atomic and the journal holds every finished box.
     if (const std::string& out = parser.get("metrics-out"); !out.empty()) {
         core::write_metrics_report_file(out, fleet, "predict",
                                         cli_metrics.snapshot());
@@ -218,6 +267,15 @@ int cmd_predict(int argc, char** argv) {
     for (const auto& [code, count] : fleet.failures_by_code) {
         std::printf("  %zu x %s\n", count, core::to_string(code));
     }
+    if (fleet.boxes_replayed > 0) {
+        std::printf("%zu boxes replayed from checkpoint\n",
+                    fleet.boxes_replayed);
+    }
+    if (fleet.interrupted) {
+        std::printf("interrupted: drained in-flight boxes and stopped; "
+                    "re-run with --checkpoint <path> --resume to continue\n");
+        return 130;  // 128 + SIGINT, the conventional interrupted status
+    }
     return 0;
 }
 
@@ -242,6 +300,8 @@ int cmd_resize(int argc, char** argv) {
         throw exec::ArgParseError("unknown --policy '" + policy_name +
                                   "' (expected atm|max-min|stingy)");
     }
+    install_sigint_drain();
+    config.stop = &g_stop;
     obs::MetricsRegistry cli_metrics(config.collect_metrics);
     const trace::Trace t = trace::read_trace_csv_file(
         parser.get("trace.csv").c_str(), 96,
@@ -277,6 +337,15 @@ int cmd_resize(int argc, char** argv) {
                                  static_cast<double>(before)
                            : 0.0,
                 policy_name.c_str(), fleet.jobs, fleet.wall_seconds);
+    if (fleet.boxes_replayed > 0) {
+        std::printf("%zu boxes replayed from checkpoint\n",
+                    fleet.boxes_replayed);
+    }
+    if (fleet.interrupted) {
+        std::printf("interrupted: drained in-flight boxes and stopped; "
+                    "re-run with --checkpoint <path> --resume to continue\n");
+        return 130;
+    }
     return 0;
 }
 
