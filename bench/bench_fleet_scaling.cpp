@@ -9,18 +9,66 @@
 // atm.bench.v1) to ATM_BENCH_JSON (default BENCH_fleet.json) so CI and
 // before/after comparisons can diff machine-readable numbers.
 //
-// Knobs: ATM_BOXES (default 24), ATM_MAX_JOBS (default hardware
-// concurrency), ATM_SEED, ATM_BENCH_JSON.
+// Knobs: ATM_BOXES (default 24), ATM_MAX_JOBS (default
+// max(8, hardware concurrency) so the sweep exercises oversubscription
+// even on small CI runners), ATM_JOBS (explicit comma-separated sweep,
+// e.g. ATM_JOBS=1,3,12 — overrides ATM_MAX_JOBS; jobs=1 is always
+// prepended as the determinism reference), ATM_SEED, ATM_BENCH_JSON.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/fleet.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/json.hpp"
 #include "tracegen/generator.hpp"
+
+namespace {
+
+/// Jobs sweep: ATM_JOBS comma list if set, else 1 and doubling worker
+/// counts up to `max_jobs` (plus max_jobs itself when not a power of
+/// two). jobs=1 always leads so later rows have a serial reference.
+std::vector<int> sweep_job_counts(int max_jobs) {
+    std::vector<int> job_counts;
+    if (const char* spec = std::getenv("ATM_JOBS")) {
+        std::string token;
+        for (const char* c = spec;; ++c) {
+            if (*c != '\0' && *c != ',') {
+                token.push_back(*c);
+                continue;
+            }
+            if (!token.empty()) {
+                const int jobs = std::atoi(token.c_str());
+                if (jobs > 0 &&
+                    std::find(job_counts.begin(), job_counts.end(), jobs) ==
+                        job_counts.end()) {
+                    job_counts.push_back(jobs);
+                }
+                token.clear();
+            }
+            if (*c == '\0') break;
+        }
+    } else {
+        for (int j = 1; j <= max_jobs; j *= 2) job_counts.push_back(j);
+        if (max_jobs > 1 && job_counts.back() != max_jobs) {
+            job_counts.push_back(max_jobs);
+        }
+    }
+    if (job_counts.empty() || job_counts.front() != 1) {
+        job_counts.erase(
+            std::remove(job_counts.begin(), job_counts.end(), 1),
+            job_counts.end());
+        job_counts.insert(job_counts.begin(), 1);
+    }
+    return job_counts;
+}
+
+}  // namespace
 
 int main() {
     using namespace atm;
@@ -41,21 +89,20 @@ int main() {
     config.collect_metrics = true;
 
     const unsigned hw = std::thread::hardware_concurrency();
-    const int max_jobs = bench::env_int("ATM_MAX_JOBS",
-                                        hw == 0 ? 1 : static_cast<int>(hw));
+    // Default past the physical core count: the executor's contract is
+    // determinism at ANY worker count, and oversubscribed rows are the
+    // cheap way to shake out schedule-dependent bugs on small runners.
+    const int max_jobs = bench::env_int(
+        "ATM_MAX_JOBS", std::max(8, hw == 0 ? 1 : static_cast<int>(hw)));
 
-    std::printf("%zu boxes, %u hardware threads\n\n", t.boxes.size(),
-                hw);
+    std::printf("%zu boxes, %u hardware threads, simd=%s\n\n", t.boxes.size(),
+                hw, simd::to_string(simd::active_path()));
     std::printf("%6s %10s %11s %9s %s\n", "jobs", "wall(s)", "boxes/sec",
                 "speedup", "identical");
 
     double serial_wall = 0.0;
     core::FleetResult reference;
-    std::vector<int> job_counts{1};
-    for (int j = 2; j <= max_jobs; j *= 2) job_counts.push_back(j);
-    if (job_counts.back() != max_jobs && max_jobs > 1) {
-        job_counts.push_back(max_jobs);
-    }
+    const std::vector<int> job_counts = sweep_job_counts(max_jobs);
 
     obs::json::Value runs = obs::json::Value::make_array();
     for (const int jobs : job_counts) {
@@ -109,6 +156,9 @@ int main() {
             obs::json::Value::of(static_cast<std::int64_t>(options.num_days)));
     doc.set("seed", obs::json::Value::of(
                         static_cast<std::uint64_t>(options.seed)));
+    // Dispatched SIMD kernel path: rows from different ISAs are not
+    // comparable wall-clock-for-wall-clock, so stamp the provenance.
+    doc.set("simd", obs::json::Value::of(reference.simd_path));
     doc.set("runs", std::move(runs));
     obs::json::Value counters = obs::json::Value::make_object();
     for (const char* name :

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "cluster/cbc.hpp"
@@ -21,6 +22,7 @@
 #include "forecast/seasonal_naive.hpp"
 #include "linalg/ols.hpp"
 #include "linalg/ridge.hpp"
+#include "linalg/simd/simd.hpp"
 #include "resize/policies.hpp"
 #include "tracegen/generator.hpp"
 
@@ -228,6 +230,79 @@ void BM_FleetPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetPipeline)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Raw MLP training epoch loop under a pinned SIMD kernel path — the
+/// differential counterpart to BM_MlpNetworkTrain (which runs on the
+/// ambient dispatch). Registered once per supported path by main().
+void BM_MlpTrain(benchmark::State& state, simd::Path path) {
+    const simd::Path ambient = simd::active_path();
+    simd::set_path(path);
+    const auto series = box_series(5);
+    const auto& s = series[0];
+    const std::size_t lags = 8;
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (std::size_t i = lags; i < s.size(); ++i) {
+        inputs.emplace_back(s.begin() + static_cast<std::ptrdiff_t>(i - lags),
+                            s.begin() + static_cast<std::ptrdiff_t>(i));
+        targets.push_back(s[i]);
+    }
+    forecast::MlpTrainOptions options;
+    options.epochs = 20;
+    forecast::MlpWorkspace workspace;
+    for (auto _ : state) {
+        forecast::MlpNetwork net({static_cast<int>(lags), 8, 1},
+                                 forecast::Activation::kTanh, 42);
+        benchmark::DoNotOptimize(net.train(inputs, targets, options, &workspace));
+    }
+    simd::set_path(ambient);
+}
+
+/// Pairwise banded DTW matrix under a pinned SIMD kernel path — one row
+/// per (path, days) pair so BENCH_kernels.json carries the scalar vs
+/// vector speedup explicitly instead of only the dispatched winner.
+void BM_DtwMatrixBandedPath(benchmark::State& state, simd::Path path) {
+    const simd::Path ambient = simd::active_path();
+    simd::set_path(path);
+    const auto series = box_series(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cluster::dtw_distance_matrix(series, /*band=*/8).size());
+    }
+    simd::set_path(ambient);
+}
+
+/// Registers the per-path differential rows (one set per SIMD path this
+/// CPU can run). Must run before RunSpecifiedBenchmarks().
+void register_per_path_benchmarks() {
+    for (const simd::Path path : simd::supported_paths()) {
+        const std::string tag = std::string("<") + simd::to_string(path) + ">";
+        benchmark::RegisterBenchmark(
+            ("BM_DtwMatrixBanded" + tag).c_str(),
+            [path](benchmark::State& state) {
+                BM_DtwMatrixBandedPath(state, path);
+            })
+            ->Arg(1)
+            ->Arg(5)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("BM_MlpTrain" + tag).c_str(),
+            [path](benchmark::State& state) { BM_MlpTrain(state, path); })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (vs BENCHMARK_MAIN): the per-path rows depend on runtime
+// CPU detection, so they are registered dynamically, and the dispatched
+// SIMD path is stamped into the JSON context for artifact provenance.
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::AddCustomContext(
+        "simd", atm::simd::to_string(atm::simd::active_path()));
+    register_per_path_benchmarks();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

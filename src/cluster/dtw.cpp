@@ -7,20 +7,13 @@
 
 #include "exec/cancel.hpp"
 #include "exec/thread_pool.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::cluster {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// Grows `row` to at least `size` elements and fills the used prefix with
-/// +inf. Capacity is never released, so a reused workspace stops
-/// allocating once it has seen its largest series.
-void reset_row(std::vector<double>& row, std::size_t size) {
-    if (row.size() < size) row.resize(size);
-    std::fill(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(size), kInf);
-}
 
 }  // namespace
 
@@ -31,42 +24,11 @@ double dtw_distance(std::span<const double> p, std::span<const double> q,
     if (n == 0 && m == 0) return 0.0;
     if (n == 0 || m == 0) return kInf;
 
-    // Two-row rolling DP over λ(i, j); index 0 is the virtual λ(0, ·) row.
-    // Both rows start all-infinite; per DP row only the band window
-    // [j_lo − 1, j_hi] is re-reset. That is sound because the window is
-    // monotone in i (its center slope·i only moves right), so any cell a
-    // later row reads outside an earlier row's window still holds the
-    // +inf written here, never a stale value from two rows back.
-    reset_row(workspace.prev, m + 1);
-    reset_row(workspace.curr, m + 1);
-    workspace.prev[0] = 0.0;
-
-    // Effective band half-width scaled for unequal lengths.
-    const double slope = n > 1 ? static_cast<double>(m) / static_cast<double>(n) : 1.0;
-
-    for (std::size_t i = 1; i <= n; ++i) {
-        std::size_t j_lo = 1;
-        std::size_t j_hi = m;
-        if (band >= 0) {
-            const double center = slope * static_cast<double>(i);
-            const auto lo = static_cast<long long>(std::floor(center)) - band;
-            const auto hi = static_cast<long long>(std::ceil(center)) + band;
-            j_lo = static_cast<std::size_t>(std::max(1LL, lo));
-            j_hi = static_cast<std::size_t>(std::min(static_cast<long long>(m), hi));
-        }
-        double* prev = workspace.prev.data();
-        double* curr = workspace.curr.data();
-        std::fill(curr + (j_lo - 1), curr + j_hi + 1, kInf);
-        for (std::size_t j = j_lo; j <= j_hi; ++j) {
-            const double diff = p[i - 1] - q[j - 1];
-            const double d = diff * diff;
-            const double best =
-                std::min({prev[j - 1], prev[j], curr[j - 1]});
-            curr[j] = best == kInf ? kInf : d + best;
-        }
-        std::swap(workspace.prev, workspace.curr);
-    }
-    return workspace.prev[m];
+    // The recurrence itself lives in the SIMD kernel layer: scalar row DP
+    // or a vectorized anti-diagonal wavefront, selected once at dispatch
+    // time. All paths are bit-identical for finite inputs (simd.hpp).
+    return simd::active_kernels().dtw_distance(p.data(), n, q.data(), m, band,
+                                               workspace.scratch);
 }
 
 double dtw_distance(std::span<const double> p, std::span<const double> q, int band) {
@@ -172,21 +134,80 @@ la::FlatMatrix dtw_distance_matrix(
         std::size_t j = i + 1 + static_cast<std::size_t>(begin - offset);
 
         DtwWorkspace workspace;  // reused across the chunk's pairs
+        // Cell counting is only observable through the registry, and
+        // dtw_cell_count walks every row — skip it entirely without a
+        // registry and memoize per shape with one (consecutive pairs
+        // nearly always share lengths).
         std::uint64_t cells = 0;
+        std::size_t cc_n = std::numeric_limits<std::size_t>::max();
+        std::size_t cc_m = std::numeric_limits<std::size_t>::max();
+        std::uint64_t cc = 0;
+
+        // Consecutive pairs with the same lengths flush through the
+        // lane-batched kernel (one pair per SIMD lane, scalar-bitwise
+        // per lane — simd.hpp), so results and counters are identical
+        // to the per-pair loop for any grouping, worker count, or path.
+        const simd::KernelTable& kernels = simd::active_kernels();
+        constexpr std::size_t kMaxBatch = 16;
+        const std::size_t width = std::min(kernels.dtw_batch_width, kMaxBatch);
+        const double* batch_p[kMaxBatch];
+        const double* batch_q[kMaxBatch];
+        std::size_t batch_i[kMaxBatch];
+        std::size_t batch_j[kMaxBatch];
+        std::size_t pending = 0;
+        std::size_t batch_n = 0;
+        std::size_t batch_m = 0;
+        const auto flush = [&] {
+            if (pending == 0) return;
+            double out[kMaxBatch];
+            kernels.dtw_distance_batch(batch_p, batch_q, pending, batch_n,
+                                       batch_m, band, workspace.scratch, out);
+            for (std::size_t b = 0; b < pending; ++b) {
+                dist(batch_i[b], batch_j[b]) = out[b];
+                dist(batch_j[b], batch_i[b]) = out[b];
+            }
+            pending = 0;
+        };
+
         for (std::uint64_t k = begin; k < end; ++k) {
             // Cancellation point: one atomic load per O(len²) pair. The
             // exception is delivered by parallel_for_each after in-flight
-            // chunks finish their current pair.
+            // chunks finish their current pair (a pending batch of other
+            // pairs is abandoned uncomputed with the rest of the matrix).
             exec::checkpoint(cancel, "search.dtw");
-            const double d = dtw_distance(series[i], series[j], band, workspace);
-            dist(i, j) = d;
-            dist(j, i) = d;
-            cells += dtw_cell_count(series[i].size(), series[j].size(), band);
+            const std::size_t pn = series[i].size();
+            const std::size_t qm = series[j].size();
+            if (metrics != nullptr) {
+                if (pn != cc_n || qm != cc_m) {
+                    cc = dtw_cell_count(pn, qm, band);
+                    cc_n = pn;
+                    cc_m = qm;
+                }
+                cells += cc;
+            }
+            if (pn == 0 || qm == 0) {
+                const double d = (pn == 0 && qm == 0) ? 0.0 : kInf;
+                dist(i, j) = d;
+                dist(j, i) = d;
+            } else {
+                if (pending == width ||
+                    (pending > 0 && (pn != batch_n || qm != batch_m))) {
+                    flush();
+                }
+                batch_n = pn;
+                batch_m = qm;
+                batch_p[pending] = series[i].data();
+                batch_q[pending] = series[j].data();
+                batch_i[pending] = i;
+                batch_j[pending] = j;
+                ++pending;
+            }
             if (++j == n) {
                 ++i;
                 j = i + 1;
             }
         }
+        flush();
         if (metrics != nullptr) {
             metrics->add("cluster.dtw.pairs", end - begin);
             metrics->add("cluster.dtw.cells", cells);

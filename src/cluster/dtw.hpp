@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/flat_matrix.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace atm::exec {
 class ThreadPool;
@@ -17,15 +18,16 @@ class MetricsRegistry;
 
 namespace atm::cluster {
 
-/// Reusable scratch for the DTW kernels: the two rolling DP rows of
-/// `dtw_distance` and the full table of `dtw_align`, grown on demand and
-/// never shrunk. One workspace serves any sequence of calls of any sizes
-/// (each call re-initializes the cells it uses), so the steady state of a
-/// pair loop — same-length series, one workspace — performs zero heap
-/// allocations per call. Not thread-safe: one workspace per thread/task.
+/// Reusable scratch for the DTW kernels: the rolling DP rows/diagonals of
+/// `dtw_distance` (owned by the SIMD kernel layer — the scalar path uses
+/// two rolling rows, the vector paths rolling anti-diagonals) and the
+/// full table of `dtw_align`, grown on demand and never shrunk. One
+/// workspace serves any sequence of calls of any sizes (each call
+/// re-initializes the cells it uses), so the steady state of a pair loop
+/// — same-length series, one workspace — performs zero heap allocations
+/// per call. Not thread-safe: one workspace per thread/task.
 struct DtwWorkspace {
-    std::vector<double> prev;
-    std::vector<double> curr;
+    simd::DtwScratch scratch;
     la::FlatMatrix table;  ///< dtw_align's (n+1) x (m+1) DP table
 };
 
@@ -43,10 +45,13 @@ struct DtwWorkspace {
 /// means unconstrained. Banding is an optimization the paper does not
 /// discuss; with band < 0 the result is the textbook DTW value.
 ///
-/// The workspace overload reuses `workspace`'s DP rows instead of
-/// allocating fresh ones; per row it touches only the band window, so the
-/// banded kernel is O(band) per row instead of O(m). Both overloads
-/// return bit-identical values.
+/// The workspace overload reuses `workspace`'s DP state instead of
+/// allocating fresh storage; the banded kernel touches only the band
+/// window, so it is O(band) per row instead of O(m). Both overloads
+/// return bit-identical values. The recurrence runs on the active
+/// simd::KernelTable path (scalar row DP or vectorized anti-diagonal
+/// wavefront); all paths are bit-identical for finite inputs
+/// (simd.hpp's tolerance policy), so the choice is pure performance.
 double dtw_distance(std::span<const double> p, std::span<const double> q,
                     int band, DtwWorkspace& workspace);
 double dtw_distance(std::span<const double> p, std::span<const double> q,

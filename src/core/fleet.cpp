@@ -15,6 +15,7 @@
 #include "exec/journal.hpp"
 #include "exec/seed.hpp"
 #include "exec/thread_pool.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace atm::core {
 namespace {
@@ -190,6 +191,9 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     const auto start = std::chrono::steady_clock::now();
 
     FleetResult fleet;
+    // Resolve the SIMD dispatch up front: the journal header binds it, and
+    // an invalid ATM_SIMD should fail the run here, not mid-box.
+    fleet.simd_path = simd::to_string(simd::active_path());
     fleet.boxes_in_trace = trace.boxes.size();
     const std::vector<int> selected = select_boxes(trace, config);
     fleet.boxes_skipped = trace.boxes.size() - selected.size();

@@ -159,6 +159,13 @@ struct FleetResult {
     /// Worker count actually used (jobs after hardware-concurrency
     /// resolution).
     int jobs = 0;
+    /// SIMD kernel path the run dispatched to ("scalar", "avx2",
+    /// "avx512", "neon") — recorded in metrics reports and BENCH JSON so
+    /// perf numbers are attributable to an ISA. Bound by the checkpoint
+    /// journal header: a resume under a different path starts fresh
+    /// (vectorized MLP forwards may drift by ULPs from scalar, so mixed
+    /// journals would break resume bit-equivalence).
+    std::string simd_path;
     /// Boxes replayed bit-identically from the resume journal instead of
     /// recomputed. Like wall_seconds/jobs, excluded from the
     /// resume-equivalence contract (it describes how the run executed,

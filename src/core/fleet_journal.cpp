@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/journal.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/json.hpp"
 
 namespace atm::core {
@@ -140,6 +141,11 @@ std::string fleet_journal_header(const trace::Trace& trace,
     header.set("config", Value::of(hex16(fleet_config_digest(config))));
     header.set("seed",
                Value::of(static_cast<std::uint64_t>(config.pipeline.seed)));
+    // The dispatched SIMD path is result-affecting (vectorized MLP
+    // forwards reassociate; simd.hpp's tolerance policy), so a journal
+    // written under one path must not be replayed under another — a
+    // mismatch makes the resume start fresh, like any config change.
+    header.set("simd", Value::of(simd::to_string(simd::active_path())));
     return obs::json::serialize(header, 0);
 }
 

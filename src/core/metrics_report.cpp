@@ -16,6 +16,7 @@ obs::json::Value build_metrics_report(const FleetResult& fleet,
     report.set("schema", json::Value::of(kMetricsReportSchema));
     report.set("command", json::Value::of(command));
     report.set("jobs", json::Value::of(static_cast<std::int64_t>(fleet.jobs)));
+    report.set("simd", json::Value::of(fleet.simd_path));
     report.set("wall_seconds", json::Value::of(fleet.wall_seconds));
     report.set("boxes_in_trace",
                json::Value::of(static_cast<std::uint64_t>(fleet.boxes_in_trace)));

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "exec/cancel.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace atm::forecast {
@@ -90,6 +91,10 @@ void MlpNetwork::forward(std::span<const double> inputs,
     ws.ensure(layer_sizes_);
     std::copy(inputs.begin(), inputs.end(), ws.acts.begin());
 
+    // Dot products run on the active SIMD path; this is the one kernel
+    // whose vectorization reassociates FP sums (simd.hpp's tolerance
+    // policy), so forecasts on vector paths may drift by ULPs from scalar.
+    const simd::KernelTable& kernels = simd::active_kernels();
     for (std::size_t l = 0; l < layers_.size(); ++l) {
         const Layer& layer = layers_[l];
         const double* in = ws.acts.data() + ws.act_off[l];
@@ -97,12 +102,11 @@ void MlpNetwork::forward(std::span<const double> inputs,
         double* pre = ws.pres.data() + ws.unit_off[l];
         double* out = ws.acts.data() + ws.act_off[l + 1];
         const auto fan_in = static_cast<std::size_t>(layer.fan_in);
-        for (std::size_t j = 0; j < static_cast<std::size_t>(layer.fan_out); ++j) {
-            double acc = layer.biases[j];
-            const double* row = layer.weights.data() + j * fan_in;
-            for (std::size_t i = 0; i < fan_in; ++i) acc += row[i] * in[i];
-            pre[j] = acc;
-            out[j] = is_output ? acc : activate(acc);  // linear output unit
+        const auto fan_out = static_cast<std::size_t>(layer.fan_out);
+        kernels.mlp_forward_layer(layer.weights.data(), layer.biases.data(),
+                                  in, fan_in, fan_out, pre);
+        for (std::size_t j = 0; j < fan_out; ++j) {
+            out[j] = is_output ? pre[j] : activate(pre[j]);  // linear output unit
         }
     }
 }
@@ -177,6 +181,7 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
     };
 
     int epochs_run = 0;
+    const simd::KernelTable& kernels = simd::active_kernels();
     for (int epoch = 0; epoch < options.epochs; ++epoch) {
         // Cancellation point: one atomic load per epoch, so a box past its
         // deadline stops mid-training instead of finishing all epochs.
@@ -191,6 +196,9 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
             train_loss += err * err;
 
             // Backprop: output delta is plain error (linear output, MSE).
+            // The kernel computes the raw weighted sums (bit-identical to
+            // the historical loop on every path); the activation gradient
+            // is applied here.
             ws.deltas[ws.unit_off.back()] = err;
             for (std::size_t l = layers_.size() - 1; l-- > 0;) {
                 const Layer& next = layers_[l + 1];
@@ -199,33 +207,29 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
                 const double* act = ws.acts.data() + ws.act_off[l + 1];
                 const double* pre = ws.pres.data() + ws.unit_off[l];
                 const auto width = static_cast<std::size_t>(next.fan_in);
+                kernels.mlp_backprop_delta(
+                    next.weights.data(), next_delta, width,
+                    static_cast<std::size_t>(next.fan_out), delta);
                 for (std::size_t j = 0; j < width; ++j) {
-                    double acc = 0.0;
-                    for (std::size_t k = 0; k < static_cast<std::size_t>(next.fan_out);
-                         ++k) {
-                        acc += next.weights[k * width + j] * next_delta[k];
-                    }
-                    delta[j] = acc * activate_grad(act[j], pre[j]);
+                    delta[j] = delta[j] * activate_grad(act[j], pre[j]);
                 }
             }
-            // SGD + momentum update.
+            // SGD + momentum update: weights via the (bit-identical,
+            // element-wise) kernel, biases inline.
             for (std::size_t l = 0; l < layers_.size(); ++l) {
                 Layer& layer = layers_[l];
                 const double* in = ws.acts.data() + ws.act_off[l];
                 const double* delta = ws.deltas.data() + ws.unit_off[l];
                 const auto fan_in = static_cast<std::size_t>(layer.fan_in);
-                for (std::size_t j = 0; j < static_cast<std::size_t>(layer.fan_out);
-                     ++j) {
-                    const double d = delta[j];
-                    double* row = layer.weights.data() + j * fan_in;
-                    double* vel = layer.weight_velocity.data() + j * fan_in;
-                    for (std::size_t i = 0; i < fan_in; ++i) {
-                        const double grad = d * in[i] + options.weight_decay * row[i];
-                        vel[i] = options.momentum * vel[i] - lr * grad;
-                        row[i] += vel[i];
-                    }
+                const auto fan_out = static_cast<std::size_t>(layer.fan_out);
+                kernels.mlp_sgd_layer(layer.weights.data(),
+                                      layer.weight_velocity.data(), in, delta,
+                                      fan_in, fan_out, lr, options.momentum,
+                                      options.weight_decay);
+                for (std::size_t j = 0; j < fan_out; ++j) {
                     layer.bias_velocity[j] =
-                        options.momentum * layer.bias_velocity[j] - lr * d;
+                        options.momentum * layer.bias_velocity[j] -
+                        lr * delta[j];
                     layer.biases[j] += layer.bias_velocity[j];
                 }
             }

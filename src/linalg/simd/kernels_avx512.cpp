@@ -1,0 +1,76 @@
+// AVX-512 instantiation of the generic wavefront/MLP kernels. Compiled
+// with -mavx512f -ffp-contract=off (no -mfma — see kernels_avx2.cpp).
+// Only dispatched after __builtin_cpu_supports("avx512f").
+
+#include <immintrin.h>
+
+#include "linalg/simd/kernels_wavefront.hpp"
+#include "linalg/simd/simd.hpp"
+
+namespace atm::simd {
+namespace {
+
+struct VecAvx512 {
+    static constexpr std::size_t kWidth = 8;
+    using Reg = __m512d;
+    static Reg zero() { return _mm512_setzero_pd(); }
+    static Reg set1(double x) { return _mm512_set1_pd(x); }
+    static Reg loadu(const double* p) { return _mm512_loadu_pd(p); }
+    static void storeu(double* p, Reg r) { _mm512_storeu_pd(p, r); }
+    static Reg add(Reg a, Reg b) { return _mm512_add_pd(a, b); }
+    static Reg sub(Reg a, Reg b) { return _mm512_sub_pd(a, b); }
+    static Reg mul(Reg a, Reg b) { return _mm512_mul_pd(a, b); }
+    static Reg min(Reg a, Reg b) { return _mm512_min_pd(a, b); }
+    static double hsum(Reg r) { return _mm512_reduce_add_pd(r); }
+};
+
+double dtw_distance_avx512(const double* p, std::size_t n, const double* q,
+                           std::size_t m, int band, DtwScratch& scratch) {
+    return dtw_distance_wavefront<VecAvx512>(p, n, q, m, band, scratch);
+}
+
+void dtw_distance_batch_avx512(const double* const* ps,
+                               const double* const* qs, std::size_t count,
+                               std::size_t n, std::size_t m, int band,
+                               DtwScratch& scratch, double* out) {
+    dtw_distance_batch_vec<VecAvx512>(ps, qs, count, n, m, band, scratch, out);
+}
+
+void mlp_forward_layer_avx512(const double* weights, const double* biases,
+                              const double* in, std::size_t fan_in,
+                              std::size_t fan_out, double* pre) {
+    mlp_forward_layer_vec<VecAvx512>(weights, biases, in, fan_in, fan_out,
+                                     pre);
+}
+
+void mlp_backprop_delta_avx512(const double* next_weights,
+                               const double* next_delta, std::size_t width,
+                               std::size_t next_fan_out, double* delta) {
+    mlp_backprop_delta_vec<VecAvx512>(next_weights, next_delta, width,
+                                      next_fan_out, delta);
+}
+
+void mlp_sgd_layer_avx512(double* weights, double* velocity, const double* in,
+                          const double* deltas, std::size_t fan_in,
+                          std::size_t fan_out, double lr, double momentum,
+                          double weight_decay) {
+    mlp_sgd_layer_vec<VecAvx512>(weights, velocity, in, deltas, fan_in,
+                                 fan_out, lr, momentum, weight_decay);
+}
+
+}  // namespace
+
+const KernelTable& avx512_kernel_table() {
+    static const KernelTable table{
+        Path::kAvx512,
+        dtw_distance_avx512,
+        /*dtw_batch_width=*/VecAvx512::kWidth,
+        dtw_distance_batch_avx512,
+        mlp_forward_layer_avx512,
+        mlp_backprop_delta_avx512,
+        mlp_sgd_layer_avx512,
+    };
+    return table;
+}
+
+}  // namespace atm::simd

@@ -1,0 +1,77 @@
+// NEON instantiation of the generic wavefront/MLP kernels, compiled only
+// on aarch64 where NEON is baseline (no runtime probe needed). Built
+// with -ffp-contract=off and plain add/mul intrinsics — no vfma — to
+// preserve the DTW bit-identity contract (see kernels_avx2.cpp).
+
+#include <arm_neon.h>
+
+#include "linalg/simd/kernels_wavefront.hpp"
+#include "linalg/simd/simd.hpp"
+
+namespace atm::simd {
+namespace {
+
+struct VecNeon {
+    static constexpr std::size_t kWidth = 2;
+    using Reg = float64x2_t;
+    static Reg zero() { return vdupq_n_f64(0.0); }
+    static Reg set1(double x) { return vdupq_n_f64(x); }
+    static Reg loadu(const double* p) { return vld1q_f64(p); }
+    static void storeu(double* p, Reg r) { vst1q_f64(p, r); }
+    static Reg add(Reg a, Reg b) { return vaddq_f64(a, b); }
+    static Reg sub(Reg a, Reg b) { return vsubq_f64(a, b); }
+    static Reg mul(Reg a, Reg b) { return vmulq_f64(a, b); }
+    static Reg min(Reg a, Reg b) { return vminq_f64(a, b); }
+    static double hsum(Reg r) {
+        return vgetq_lane_f64(r, 0) + vgetq_lane_f64(r, 1);
+    }
+};
+
+double dtw_distance_neon(const double* p, std::size_t n, const double* q,
+                         std::size_t m, int band, DtwScratch& scratch) {
+    return dtw_distance_wavefront<VecNeon>(p, n, q, m, band, scratch);
+}
+
+void dtw_distance_batch_neon(const double* const* ps, const double* const* qs,
+                             std::size_t count, std::size_t n, std::size_t m,
+                             int band, DtwScratch& scratch, double* out) {
+    dtw_distance_batch_vec<VecNeon>(ps, qs, count, n, m, band, scratch, out);
+}
+
+void mlp_forward_layer_neon(const double* weights, const double* biases,
+                            const double* in, std::size_t fan_in,
+                            std::size_t fan_out, double* pre) {
+    mlp_forward_layer_vec<VecNeon>(weights, biases, in, fan_in, fan_out, pre);
+}
+
+void mlp_backprop_delta_neon(const double* next_weights,
+                             const double* next_delta, std::size_t width,
+                             std::size_t next_fan_out, double* delta) {
+    mlp_backprop_delta_vec<VecNeon>(next_weights, next_delta, width,
+                                    next_fan_out, delta);
+}
+
+void mlp_sgd_layer_neon(double* weights, double* velocity, const double* in,
+                        const double* deltas, std::size_t fan_in,
+                        std::size_t fan_out, double lr, double momentum,
+                        double weight_decay) {
+    mlp_sgd_layer_vec<VecNeon>(weights, velocity, in, deltas, fan_in, fan_out,
+                               lr, momentum, weight_decay);
+}
+
+}  // namespace
+
+const KernelTable& neon_kernel_table() {
+    static const KernelTable table{
+        Path::kNeon,
+        dtw_distance_neon,
+        /*dtw_batch_width=*/VecNeon::kWidth,
+        dtw_distance_batch_neon,
+        mlp_forward_layer_neon,
+        mlp_backprop_delta_neon,
+        mlp_sgd_layer_neon,
+    };
+    return table;
+}
+
+}  // namespace atm::simd

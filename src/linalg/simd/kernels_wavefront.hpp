@@ -1,0 +1,303 @@
+#pragma once
+
+// Generic vectorized kernel bodies, parameterized over a vector-traits
+// type V supplying:
+//   V::kWidth                      lanes per register (doubles)
+//   V::Reg                         register type
+//   V::zero() / V::set1(x)         broadcast constructors
+//   V::loadu(p) / V::storeu(p, r)  unaligned load/store
+//   V::add / V::sub / V::mul / V::min   lane-wise arithmetic
+//   V::hsum(r)                     horizontal sum (forward layer only)
+// Each ISA translation unit (kernels_avx2.cpp, …) defines its traits and
+// instantiates these templates under the matching target flags; this
+// header itself must stay ISA-agnostic. All remainder lanes fall back to
+// scalar tails that evaluate the identical per-element expressions.
+//
+// DTW layout: instead of the scalar kernel's row-by-row sweep, cells are
+// visited by anti-diagonal d = i + j. Every cell on one diagonal depends
+// only on diagonals d−1 and d−2, so the whole diagonal is data-parallel.
+// Three rolling arrays indexed by i hold D(d−2), D(d−1), D(d) with
+// D(d)[i] = λ(i, d−i); a reversed copy of q makes the q operand a
+// contiguous ascending load (q[d−i−1] = qrev[m−d+i]). Per-cell
+// arithmetic — one subtract, one multiply, a three-way min, one add —
+// is exactly the scalar recurrence, so the result is bit-identical for
+// finite inputs (see simd.hpp's tolerance policy).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "linalg/simd/simd.hpp"
+
+namespace atm::simd {
+
+inline constexpr double kWavefrontInf = std::numeric_limits<double>::infinity();
+
+/// Per-row band windows [jlo[i], jhi[i]], i in [1, n] — the same
+/// floor/ceil expressions as the scalar kernel, evaluated once. Windows
+/// are always non-empty and both endpoints are nondecreasing in i.
+inline void compute_band_windows(std::size_t n, std::size_t m, int band,
+                                 std::vector<std::size_t>& jlo,
+                                 std::vector<std::size_t>& jhi) {
+    if (jlo.size() < n + 1) jlo.resize(n + 1);
+    if (jhi.size() < n + 1) jhi.resize(n + 1);
+    const double slope =
+        n > 1 ? static_cast<double>(m) / static_cast<double>(n) : 1.0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        std::size_t lo = 1;
+        std::size_t hi = m;
+        if (band >= 0) {
+            const double center = slope * static_cast<double>(i);
+            const auto l = static_cast<long long>(std::floor(center)) - band;
+            const auto h = static_cast<long long>(std::ceil(center)) + band;
+            lo = static_cast<std::size_t>(std::max(1LL, l));
+            hi = static_cast<std::size_t>(
+                std::min(static_cast<long long>(m), h));
+        }
+        jlo[i] = lo;
+        jhi[i] = hi;
+    }
+}
+
+template <typename V>
+double dtw_distance_wavefront(const double* p, std::size_t n, const double* q,
+                              std::size_t m, int band, DtwScratch& scratch) {
+    const auto reset = [](std::vector<double>& a, std::size_t size) {
+        if (a.size() < size) a.resize(size);
+        std::fill(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(size),
+                  kWavefrontInf);
+    };
+    reset(scratch.prev, n + 1);
+    reset(scratch.curr, n + 1);
+    reset(scratch.next, n + 1);
+    scratch.prev[0] = 0.0;  // λ(0, 0) on diagonal 0
+    if (scratch.qrev.size() < m) scratch.qrev.resize(m);
+    for (std::size_t k = 0; k < m; ++k) scratch.qrev[k] = q[m - 1 - k];
+    compute_band_windows(n, m, band, scratch.jlo, scratch.jhi);
+
+    double* d2 = scratch.prev.data();  // diagonal d − 2
+    double* d1 = scratch.curr.data();  // diagonal d − 1
+    double* d0 = scratch.next.data();  // diagonal being computed
+    const std::size_t* jlo = scratch.jlo.data();
+    const std::size_t* jhi = scratch.jhi.data();
+
+    // Valid i-range of diagonal d: { i : jlo[i] ≤ d − i ≤ jhi[i] }. It is
+    // contiguous, and because i + jhi[i] and i + jlo[i] are strictly
+    // increasing in i, both endpoints are nondecreasing in d — a
+    // two-pointer walk finds them in O(1) amortized. Instead of clearing
+    // whole diagonals, only the cells a later diagonal can read are
+    // patched to +inf: reads from D(d) land in [ilo(d) − 1, ihi(d) + 1]
+    // (endpoints move by ≤ 1 per diagonal), so writing the valid cells
+    // plus those two border cells fully determines every future read.
+    std::size_t ilo = 1;
+    std::size_t ihi = 0;
+    for (std::size_t d = 2; d <= n + m; ++d) {
+        while (ilo <= n && ilo + jhi[ilo] < d) ++ilo;
+        while (ihi < n && (ihi + 1) + jlo[ihi + 1] <= d) ++ihi;
+        if (ilo > ihi) {
+            // Empty diagonal (possible under extreme length ratios with a
+            // narrow band): future reads land in [ilo − 1, ilo + 1].
+            for (std::size_t i = ilo - 1; i <= std::min(n, ilo + 1); ++i) {
+                d0[i] = kWavefrontInf;
+            }
+        } else {
+            const std::size_t len = ihi - ilo + 1;
+            const double* pb = p + (ilo - 1);
+            // Signed offset: m − d is negative once d passes m, so form
+            // the base pointer from the full (non-negative) index
+            // m − d + ilo rather than stepping below qrev's start.
+            const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(m) -
+                                       static_cast<std::ptrdiff_t>(d) +
+                                       static_cast<std::ptrdiff_t>(ilo);
+            const double* qb = scratch.qrev.data() + off;
+            const double* d2b = d2 + (ilo - 1);  // λ(i−1, j−1)
+            const double* d1a = d1 + (ilo - 1);  // λ(i−1, j)
+            const double* d1b = d1 + ilo;        // λ(i, j−1)
+            double* ob = d0 + ilo;
+            std::size_t k = 0;
+            for (; k + V::kWidth <= len; k += V::kWidth) {
+                const auto diff = V::sub(V::loadu(pb + k), V::loadu(qb + k));
+                const auto cost = V::mul(diff, diff);
+                const auto best = V::min(
+                    V::min(V::loadu(d2b + k), V::loadu(d1a + k)),
+                    V::loadu(d1b + k));
+                V::storeu(ob + k, V::add(cost, best));
+            }
+            for (; k < len; ++k) {
+                const double diff = pb[k] - qb[k];
+                const double cost = diff * diff;
+                const double best = std::min(std::min(d2b[k], d1a[k]), d1b[k]);
+                ob[k] = cost + best;
+            }
+            if (ilo >= 1) d0[ilo - 1] = kWavefrontInf;
+            if (ihi + 1 <= n) d0[ihi + 1] = kWavefrontInf;
+        }
+        double* rotate = d2;
+        d2 = d1;
+        d1 = d0;
+        d0 = rotate;
+    }
+    return d1[n];  // after the last rotation d1 holds diagonal n + m
+}
+
+/// Batched DTW: one pair per SIMD lane, scalar row-DP control flow.
+///
+/// All `count` pairs share (n, m, band), so every lane has the same band
+/// windows and visits the same (i, j) cells in the same order — the loop
+/// structure IS the scalar kernel's, with each scalar value widened to a
+/// register of per-pair values. Inputs and the two rolling DP rows are
+/// lane-interleaved (`buf[index * kWidth + lane]`) so every access is one
+/// contiguous unaligned load/store. Per-cell arithmetic matches the
+/// scalar sequence exactly (the scalar `best == inf ? inf : d + best`
+/// guard is the plain IEEE add for finite d), so each lane's distance is
+/// bit-identical to a per-pair scalar call. Unused lanes replay the last
+/// pair; their results are discarded.
+template <typename V>
+void dtw_distance_batch_vec(const double* const* ps, const double* const* qs,
+                            std::size_t count, std::size_t n, std::size_t m,
+                            int band, DtwScratch& scratch, double* out) {
+    constexpr std::size_t kW = V::kWidth;
+    // The distance-matrix loop mostly batches pairs from one row of the
+    // upper triangle, so all lanes usually share the same p series — a
+    // broadcast then replaces the strided p staging entirely.
+    bool shared_p = true;
+    for (std::size_t b = 1; b < count; ++b) shared_p &= ps[b] == ps[0];
+    if (!shared_p) {
+        if (scratch.lanes_p.size() < n * kW) scratch.lanes_p.resize(n * kW);
+        for (std::size_t lane = 0; lane < kW; ++lane) {
+            const double* p = ps[lane < count ? lane : count - 1];
+            for (std::size_t i = 0; i < n; ++i) {
+                scratch.lanes_p[i * kW + lane] = p[i];
+            }
+        }
+    }
+    if (scratch.lanes_q.size() < m * kW) scratch.lanes_q.resize(m * kW);
+    double* ql = scratch.lanes_q.data();
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+        const double* q = qs[lane < count ? lane : count - 1];
+        for (std::size_t j = 0; j < m; ++j) ql[j * kW + lane] = q[j];
+    }
+    const double* pl = scratch.lanes_p.data();
+
+    const std::size_t row = (m + 1) * kW;
+    const auto reset = [row](std::vector<double>& a) {
+        if (a.size() < row) a.resize(row);
+        std::fill(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(row),
+                  kWavefrontInf);
+    };
+    reset(scratch.prev);
+    reset(scratch.curr);
+    for (std::size_t lane = 0; lane < kW; ++lane) {
+        scratch.prev[lane] = 0.0;  // λ(0, 0) in every lane
+    }
+    double* prev = scratch.prev.data();
+    double* curr = scratch.curr.data();
+
+    compute_band_windows(n, m, band, scratch.jlo, scratch.jhi);
+    const auto infv = V::set1(kWavefrontInf);
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t j_lo = scratch.jlo[i];
+        const std::size_t j_hi = scratch.jhi[i];
+        // Unlike the scalar kernel this resets only the left border cell
+        // j_lo − 1: the compute loop overwrites all of [j_lo, j_hi]
+        // anyway, cells right of the window were never written (windows
+        // only move right, both buffers start all-inf), and cells left
+        // of j_lo − 1 are never read again (window monotonicity) — so
+        // every future read still sees exactly the scalar's values.
+        V::storeu(curr + (j_lo - 1) * kW, infv);
+        const auto pv =
+            shared_p ? V::set1(ps[0][i - 1]) : V::loadu(pl + (i - 1) * kW);
+        // The j recurrence chains through curr[j − 1]; carrying it in a
+        // register keeps the chain to min + add, no store-to-load hop.
+        auto left = infv;
+        for (std::size_t j = j_lo; j <= j_hi; ++j) {
+            const auto diff = V::sub(pv, V::loadu(ql + (j - 1) * kW));
+            const auto cost = V::mul(diff, diff);
+            const auto best = V::min(V::min(V::loadu(prev + (j - 1) * kW),
+                                            V::loadu(prev + j * kW)),
+                                     left);
+            left = V::add(cost, best);
+            V::storeu(curr + j * kW, left);
+        }
+        std::swap(prev, curr);
+    }
+    for (std::size_t b = 0; b < count; ++b) out[b] = prev[m * kW + b];
+}
+
+template <typename V>
+void mlp_forward_layer_vec(const double* weights, const double* biases,
+                           const double* in, std::size_t fan_in,
+                           std::size_t fan_out, double* pre) {
+    for (std::size_t j = 0; j < fan_out; ++j) {
+        const double* row = weights + j * fan_in;
+        auto accv = V::zero();
+        std::size_t i = 0;
+        for (; i + V::kWidth <= fan_in; i += V::kWidth) {
+            accv = V::add(accv, V::mul(V::loadu(row + i), V::loadu(in + i)));
+        }
+        // Lane partials + horizontal sum reassociate the dot product —
+        // the one place the tolerance policy allows ULP drift.
+        double acc = biases[j] + V::hsum(accv);
+        for (; i < fan_in; ++i) acc += row[i] * in[i];
+        pre[j] = acc;
+    }
+}
+
+template <typename V>
+void mlp_backprop_delta_vec(const double* next_weights,
+                            const double* next_delta, std::size_t width,
+                            std::size_t next_fan_out, double* delta) {
+    // Vectorized across j; each lane accumulates its own element in the
+    // same ascending-k order as the scalar loop → bit-identical.
+    std::size_t j = 0;
+    for (; j + V::kWidth <= width; j += V::kWidth) {
+        auto accv = V::zero();
+        for (std::size_t k = 0; k < next_fan_out; ++k) {
+            accv = V::add(accv, V::mul(V::loadu(next_weights + k * width + j),
+                                       V::set1(next_delta[k])));
+        }
+        V::storeu(delta + j, accv);
+    }
+    for (; j < width; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < next_fan_out; ++k) {
+            acc += next_weights[k * width + j] * next_delta[k];
+        }
+        delta[j] = acc;
+    }
+}
+
+template <typename V>
+void mlp_sgd_layer_vec(double* weights, double* velocity, const double* in,
+                       const double* deltas, std::size_t fan_in,
+                       std::size_t fan_out, double lr, double momentum,
+                       double weight_decay) {
+    const auto lrv = V::set1(lr);
+    const auto mov = V::set1(momentum);
+    const auto wdv = V::set1(weight_decay);
+    for (std::size_t j = 0; j < fan_out; ++j) {
+        const double d = deltas[j];
+        const auto dv = V::set1(d);
+        double* row = weights + j * fan_in;
+        double* vel = velocity + j * fan_in;
+        std::size_t i = 0;
+        for (; i + V::kWidth <= fan_in; i += V::kWidth) {
+            const auto rowv = V::loadu(row + i);
+            const auto gradv =
+                V::add(V::mul(dv, V::loadu(in + i)), V::mul(wdv, rowv));
+            const auto velv =
+                V::sub(V::mul(mov, V::loadu(vel + i)), V::mul(lrv, gradv));
+            V::storeu(vel + i, velv);
+            V::storeu(row + i, V::add(rowv, velv));
+        }
+        for (; i < fan_in; ++i) {
+            const double grad = d * in[i] + weight_decay * row[i];
+            vel[i] = momentum * vel[i] - lr * grad;
+            row[i] += vel[i];
+        }
+    }
+}
+
+}  // namespace atm::simd

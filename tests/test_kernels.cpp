@@ -24,6 +24,7 @@
 #include "linalg/matrix.hpp"
 #include "linalg/ols.hpp"
 #include "linalg/ridge.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
 
 // ---- Counting allocator -----------------------------------------------------
@@ -302,6 +303,12 @@ struct ReferenceMlp {
 };
 
 TEST(KernelsMlpTest, FlattenedForwardMatchesNestedReferenceBitExactly) {
+    // Bit-exactness vs the nested reference holds on the scalar kernel
+    // path only — vectorized forward layers reassociate their dot
+    // products (linalg/simd/simd.hpp tolerance policy), so this test
+    // pins the scalar path explicitly (and restores the dispatch after).
+    const simd::Path ambient = simd::active_path();
+    simd::set_path(simd::Path::kScalar);
     const std::vector<int> layer_sizes{8, 6, 4, 1};
     const forecast::MlpNetwork net(layer_sizes, forecast::Activation::kTanh, 42);
     const ReferenceMlp reference(layer_sizes, 42);
@@ -309,6 +316,7 @@ TEST(KernelsMlpTest, FlattenedForwardMatchesNestedReferenceBitExactly) {
         const std::vector<double> x = wave(8, 100 + s, 0.3 * s);
         EXPECT_EQ(net.predict(x), reference.predict(x)) << "input " << s;
     }
+    simd::set_path(ambient);
 }
 
 TEST(KernelsMlpTest, TrainWithAndWithoutWorkspaceIsBitIdentical) {

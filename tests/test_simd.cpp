@@ -1,0 +1,549 @@
+// Differential/property suite for the SIMD kernel layer (ctest -L simd):
+// every compiled-and-supported path is compared against the scalar
+// reference under the tolerance policy documented in linalg/simd/simd.hpp
+// — DTW, MLP backprop sums, and SGD updates bit-identical; MLP forward
+// dot products within kMlpForwardMaxUlps. Shapes are chosen to hit every
+// tail/remainder case of every lane width (2, 4, 8), and DTW inputs
+// include NaN-gap series run through the pipeline's repair step.
+//
+// The whole binary also runs correctly with ATM_SIMD forced (CI does
+// scalar + each runner ISA): differential tests compare explicit paths
+// via simd::kernels_for and never depend on the ambient dispatch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "cluster/dtw.hpp"
+#include "forecast/nn.hpp"
+#include "linalg/simd/simd.hpp"
+#include "obs/metrics.hpp"
+#include "timeseries/repair.hpp"
+
+namespace atm::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Restores the ambient dispatch on scope exit, so tests that call
+/// set_path cannot leak a forced path into later tests.
+class PathGuard {
+  public:
+    PathGuard() : saved_(active_path()) {}
+    PathGuard(const PathGuard&) = delete;
+    PathGuard& operator=(const PathGuard&) = delete;
+    ~PathGuard() { set_path(saved_); }
+
+  private:
+    Path saved_;
+};
+
+const KernelTable& scalar_table() { return kernels_for(Path::kScalar); }
+
+std::vector<Path> vector_paths() {
+    std::vector<Path> paths;
+    for (Path p : supported_paths()) {
+        if (p != Path::kScalar) paths.push_back(p);
+    }
+    return paths;
+}
+
+std::vector<double> random_series(std::mt19937& rng, std::size_t len,
+                                  double lo = 0.0, double hi = 100.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    std::vector<double> xs(len);
+    for (double& x : xs) x = dist(rng);
+    return xs;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch plumbing
+
+TEST(SimdDispatchTest, PathNamesRoundTrip) {
+    for (Path p : {Path::kScalar, Path::kAvx2, Path::kAvx512, Path::kNeon}) {
+        EXPECT_EQ(parse_path(to_string(p)), p);
+    }
+    EXPECT_THROW(parse_path("sse2"), std::invalid_argument);
+    EXPECT_THROW(parse_path(""), std::invalid_argument);
+    EXPECT_THROW(parse_path("AVX2"), std::invalid_argument);
+}
+
+TEST(SimdDispatchTest, ScalarIsAlwaysCompiledAndSupported) {
+    const std::vector<Path> compiled = compiled_paths();
+    ASSERT_FALSE(compiled.empty());
+    EXPECT_EQ(compiled.front(), Path::kScalar);
+    const std::vector<Path> supported = supported_paths();
+    ASSERT_FALSE(supported.empty());
+    EXPECT_EQ(supported.front(), Path::kScalar);
+    // Supported is a subset of compiled.
+    for (Path p : supported) {
+        EXPECT_NE(std::find(compiled.begin(), compiled.end(), p),
+                  compiled.end());
+    }
+}
+
+TEST(SimdDispatchTest, ActivePathIsSupportedAndTableMatches) {
+    const Path active = active_path();
+    const std::vector<Path> supported = supported_paths();
+    EXPECT_NE(std::find(supported.begin(), supported.end(), active),
+              supported.end());
+    EXPECT_EQ(active_kernels().path, active);
+    EXPECT_EQ(kernels_for(active).path, active);
+}
+
+TEST(SimdDispatchTest, SetPathForcesEveryCompiledSupportedPath) {
+    const PathGuard guard;
+    for (Path p : supported_paths()) {
+        set_path(p);
+        EXPECT_EQ(active_path(), p);
+        EXPECT_EQ(active_kernels().path, p);
+    }
+}
+
+TEST(SimdDispatchTest, UncompiledOrUnsupportedPathThrows) {
+    // At most one of avx512/neon is available on any one machine, so at
+    // least one of them must be rejected.
+    const std::vector<Path> supported = supported_paths();
+    int rejected = 0;
+    for (Path p : {Path::kAvx2, Path::kAvx512, Path::kNeon}) {
+        if (std::find(supported.begin(), supported.end(), p) !=
+            supported.end()) {
+            continue;
+        }
+        EXPECT_THROW(kernels_for(p), std::invalid_argument);
+        EXPECT_THROW(set_path(p), std::invalid_argument);
+        ++rejected;
+    }
+    EXPECT_GE(rejected, 1);
+}
+
+TEST(SimdDispatchTest, UlpDistance) {
+    EXPECT_EQ(ulp_distance(1.0, 1.0), 0u);
+    EXPECT_EQ(ulp_distance(0.0, -0.0), 0u);
+    EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 2.0)), 1u);
+    EXPECT_EQ(ulp_distance(1.0, std::nextafter(1.0, 0.0)), 1u);
+    EXPECT_EQ(ulp_distance(kInf, kInf), 0u);
+    EXPECT_EQ(ulp_distance(std::nan(""), 1.0), ~std::uint64_t{0});
+    // Sign crossings are huge, never "close".
+    EXPECT_GT(ulp_distance(-1.0, 1.0), std::uint64_t{1} << 60);
+}
+
+// ---------------------------------------------------------------------
+// DTW: every vector path bit-identical to scalar
+
+/// Runs one (p, q, band) case through the scalar kernel and every vector
+/// path and requires exact equality (infinity included: narrow bands on
+/// skewed lengths legitimately produce +inf).
+void expect_dtw_bitwise(const std::vector<double>& p,
+                        const std::vector<double>& q, int band) {
+    DtwScratch scalar_scratch;
+    const double expected = scalar_table().dtw_distance(
+        p.data(), p.size(), q.data(), q.size(), band, scalar_scratch);
+    for (Path path : vector_paths()) {
+        DtwScratch scratch;
+        const double actual = kernels_for(path).dtw_distance(
+            p.data(), p.size(), q.data(), q.size(), band, scratch);
+        // EXPECT_EQ on doubles is bitwise here: values are either finite
+        // (never -0.0: sums of squares) or +inf.
+        EXPECT_EQ(expected, actual)
+            << to_string(path) << " diverged at n=" << p.size()
+            << " m=" << q.size() << " band=" << band;
+    }
+}
+
+TEST(SimdDtwTest, EqualLengthsAllBandsBitwise) {
+    std::mt19937 rng(20160621);
+    // Lengths straddle every vector width's tail cases (multiples of 2,
+    // 4, 8 plus off-by-one on both sides) up to the fleet's 480.
+    for (const std::size_t len : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{4},
+                                  std::size_t{5}, std::size_t{7},
+                                  std::size_t{8}, std::size_t{9},
+                                  std::size_t{15}, std::size_t{16},
+                                  std::size_t{17}, std::size_t{31},
+                                  std::size_t{33}, std::size_t{96},
+                                  std::size_t{100}, std::size_t{480}}) {
+        const std::vector<double> p = random_series(rng, len);
+        const std::vector<double> q = random_series(rng, len);
+        for (const int band : {-1, 0, 1, 2, 3, 8, 17, 64, 1000}) {
+            expect_dtw_bitwise(p, q, band);
+        }
+    }
+}
+
+TEST(SimdDtwTest, UnequalLengthsBitwise) {
+    std::mt19937 rng(7);
+    std::uniform_int_distribution<std::size_t> len_dist(1, 130);
+    std::uniform_int_distribution<int> band_dist(-1, 20);
+    for (int it = 0; it < 60; ++it) {
+        const std::vector<double> p = random_series(rng, len_dist(rng));
+        const std::vector<double> q = random_series(rng, len_dist(rng));
+        expect_dtw_bitwise(p, q, band_dist(rng));
+    }
+}
+
+TEST(SimdDtwTest, ExtremeSlopeEmptyDiagonalsBitwise) {
+    // Narrow bands on very skewed lengths produce anti-diagonals with no
+    // in-band cell at all — the wavefront's empty-diagonal housekeeping
+    // path. Several of these are +inf end to end.
+    std::mt19937 rng(99);
+    for (const auto& [n, m] : std::vector<std::pair<std::size_t, std::size_t>>{
+             {3, 100}, {100, 3}, {1, 5}, {5, 1}, {1, 1}, {2, 97}, {97, 2}}) {
+        const std::vector<double> p = random_series(rng, n);
+        const std::vector<double> q = random_series(rng, m);
+        for (const int band : {0, 1, 2, 5}) {
+            expect_dtw_bitwise(p, q, band);
+        }
+    }
+}
+
+TEST(SimdDtwTest, RepairedGapSeriesBitwise) {
+    // The pipeline's DTW inputs are repaired monitoring series: inject
+    // zero-run gaps (how outages appear in traces), repair them, and
+    // check the kernels on the result — values with flat interpolated
+    // runs and exact repeats, adjacent to what were NaN-like gaps.
+    std::mt19937 rng(4242);
+    for (const std::size_t len :
+         {std::size_t{96}, std::size_t{97}, std::size_t{192}}) {
+        std::vector<double> p = random_series(rng, len, 1.0, 100.0);
+        std::vector<double> q = random_series(rng, len, 1.0, 100.0);
+        // Gaps at the front, middle, and back; min_run for find_gaps is 2.
+        for (std::vector<double>* s : {&p, &q}) {
+            (*s)[0] = 0.0;
+            (*s)[1] = 0.0;
+            const std::size_t mid = len / 2;
+            (*s)[mid] = 0.0;
+            (*s)[mid + 1] = 0.0;
+            (*s)[len - 2] = 0.0;
+            (*s)[len - 1] = 0.0;
+        }
+        const std::vector<double> pr =
+            ts::repair_series(p, ts::RepairMethod::kSeasonal, 96);
+        const std::vector<double> qr =
+            ts::repair_series(q, ts::RepairMethod::kLinear, 96);
+        for (const int band : {-1, 8}) {
+            expect_dtw_bitwise(pr, qr, band);
+        }
+    }
+}
+
+TEST(SimdDtwTest, WorkspaceReuseAcrossSizesAndPaths) {
+    // One scratch reused across wildly varying sizes and bands must give
+    // the same answers as a fresh scratch per call, on every path.
+    std::mt19937 rng(11);
+    std::vector<std::pair<std::vector<double>, std::vector<double>>> cases;
+    for (const std::size_t len : {std::size_t{63}, std::size_t{5},
+                                  std::size_t{128}, std::size_t{1},
+                                  std::size_t{31}}) {
+        cases.emplace_back(random_series(rng, len), random_series(rng, len));
+    }
+    for (Path path : supported_paths()) {
+        const KernelTable& kernels = kernels_for(path);
+        DtwScratch reused;
+        for (const auto& [p, q] : cases) {
+            for (const int band : {-1, 3}) {
+                DtwScratch fresh;
+                const double expected = kernels.dtw_distance(
+                    p.data(), p.size(), q.data(), q.size(), band, fresh);
+                const double actual = kernels.dtw_distance(
+                    p.data(), p.size(), q.data(), q.size(), band, reused);
+                EXPECT_EQ(expected, actual) << to_string(path);
+            }
+        }
+    }
+}
+
+TEST(SimdDtwTest, BatchKernelMatchesScalarPerPairBitwise) {
+    // The lane-batched kernel must reproduce the scalar per-pair result
+    // bit-for-bit in every lane, for every occupancy count up to the
+    // path's width, on shapes that hit full windows, narrow bands, and
+    // the empty-diagonal extremes.
+    std::mt19937 rng(31415);
+    const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+        {1, 1}, {5, 5}, {17, 17}, {96, 96}, {480, 480}, {3, 100}, {97, 2}};
+    for (Path path : supported_paths()) {
+        const KernelTable& kernels = kernels_for(path);
+        ASSERT_GE(kernels.dtw_batch_width, std::size_t{1}) << to_string(path);
+        DtwScratch batch_scratch;  // reused across every call below
+        for (const auto& [n, m] : shapes) {
+            for (std::size_t count = 1; count <= kernels.dtw_batch_width;
+                 ++count) {
+                std::vector<std::vector<double>> p_data;
+                std::vector<std::vector<double>> q_data;
+                std::vector<const double*> ps;
+                std::vector<const double*> qs;
+                for (std::size_t b = 0; b < count; ++b) {
+                    p_data.push_back(random_series(rng, n));
+                    q_data.push_back(random_series(rng, m));
+                    ps.push_back(p_data.back().data());
+                    qs.push_back(q_data.back().data());
+                }
+                for (const int band : {-1, 0, 2, 8}) {
+                    std::vector<double> out(count, -1.0);
+                    kernels.dtw_distance_batch(ps.data(), qs.data(), count, n,
+                                               m, band, batch_scratch,
+                                               out.data());
+                    for (std::size_t b = 0; b < count; ++b) {
+                        DtwScratch fresh;
+                        const double expected = scalar_table().dtw_distance(
+                            ps[b], n, qs[b], m, band, fresh);
+                        EXPECT_EQ(expected, out[b])
+                            << to_string(path) << " n=" << n << " m=" << m
+                            << " band=" << band << " count=" << count
+                            << " lane=" << b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(SimdDtwTest, DistanceMatrixMixedLengthsAndEmptiesAcrossPaths) {
+    // Mixed lengths force the matrix loop to flush partial batches on
+    // every shape change, and empty series must bypass the batch kernel
+    // with the historical 0 / +inf results — all bit-identical to the
+    // scalar path, counters included.
+    std::mt19937 rng(777);
+    std::vector<std::vector<double>> series;
+    series.push_back(random_series(rng, 96));
+    series.push_back(random_series(rng, 96));
+    series.push_back(random_series(rng, 40));
+    series.push_back({});
+    series.push_back(random_series(rng, 96));
+    series.push_back(random_series(rng, 40));
+    series.push_back({});
+
+    const PathGuard guard;
+    set_path(Path::kScalar);
+    obs::MetricsRegistry scalar_metrics;
+    const la::FlatMatrix expected =
+        cluster::dtw_distance_matrix(series, 8, nullptr, &scalar_metrics);
+    for (Path path : vector_paths()) {
+        set_path(path);
+        obs::MetricsRegistry metrics;
+        const la::FlatMatrix actual =
+            cluster::dtw_distance_matrix(series, 8, nullptr, &metrics);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            for (std::size_t j = 0; j < series.size(); ++j) {
+                EXPECT_EQ(expected(i, j), actual(i, j))
+                    << to_string(path) << " (" << i << ", " << j << ")";
+            }
+        }
+        EXPECT_EQ(scalar_metrics.snapshot().counters,
+                  metrics.snapshot().counters)
+            << to_string(path);
+    }
+}
+
+TEST(SimdDtwTest, DistanceMatrixAndCellCountersIdenticalAcrossPaths) {
+    // End-to-end through cluster::dtw_distance_matrix: forcing each path
+    // must leave every matrix entry and the cluster.dtw.* counters
+    // bit-identical (the acceptance criterion for cluster.dtw.cells).
+    std::mt19937 rng(2016);
+    std::vector<std::vector<double>> series;
+    for (int s = 0; s < 6; ++s) series.push_back(random_series(rng, 96));
+
+    const PathGuard guard;
+    set_path(Path::kScalar);
+    obs::MetricsRegistry scalar_metrics;
+    const la::FlatMatrix expected =
+        cluster::dtw_distance_matrix(series, 8, nullptr, &scalar_metrics);
+    const auto scalar_counters = scalar_metrics.snapshot().counters;
+    ASSERT_NE(scalar_counters.find("cluster.dtw.cells"),
+              scalar_counters.end());
+
+    for (Path path : vector_paths()) {
+        set_path(path);
+        obs::MetricsRegistry metrics;
+        const la::FlatMatrix actual =
+            cluster::dtw_distance_matrix(series, 8, nullptr, &metrics);
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            for (std::size_t j = 0; j < series.size(); ++j) {
+                EXPECT_EQ(expected(i, j), actual(i, j)) << to_string(path);
+            }
+        }
+        EXPECT_EQ(scalar_counters, metrics.snapshot().counters)
+            << to_string(path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MLP kernels
+
+/// Shapes covering full vectors, tails, and sub-width layers for every
+/// compiled lane width (2, 4, 8).
+const std::vector<std::pair<std::size_t, std::size_t>>& mlp_shapes() {
+    static const std::vector<std::pair<std::size_t, std::size_t>> shapes{
+        {1, 1},  {2, 3},  {3, 2},  {4, 4},  {5, 7},  {7, 5},
+        {8, 8},  {8, 12}, {12, 8}, {9, 16}, {16, 9}, {17, 31},
+        {31, 17}, {33, 33},
+    };
+    return shapes;
+}
+
+TEST(SimdMlpTest, ForwardLayerWithinUlpBound) {
+    std::mt19937 rng(123);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (const auto& [fan_in, fan_out] : mlp_shapes()) {
+        std::vector<double> weights(fan_in * fan_out);
+        std::vector<double> biases(fan_out);
+        std::vector<double> in(fan_in);
+        for (double& w : weights) w = dist(rng);
+        for (double& b : biases) b = dist(rng);
+        for (double& x : in) x = dist(rng);
+
+        std::vector<double> expected(fan_out);
+        scalar_table().mlp_forward_layer(
+            weights.data(), biases.data(), in.data(), fan_in, fan_out,
+            expected.data());
+        for (Path path : vector_paths()) {
+            std::vector<double> actual(fan_out, -1.0);
+            kernels_for(path).mlp_forward_layer(weights.data(), biases.data(),
+                                                in.data(), fan_in, fan_out,
+                                                actual.data());
+            for (std::size_t j = 0; j < fan_out; ++j) {
+                EXPECT_LE(ulp_distance(expected[j], actual[j]),
+                          kMlpForwardMaxUlps)
+                    << to_string(path) << " at j=" << j << " shape ("
+                    << fan_in << ", " << fan_out << "): " << expected[j]
+                    << " vs " << actual[j];
+            }
+        }
+    }
+}
+
+TEST(SimdMlpTest, ForwardLayerTailLanesAreScalarExact) {
+    // The remainder loop must evaluate the identical expression as the
+    // scalar kernel: with fan_in < every vector width, all paths are
+    // forced into the tail and must be bit-identical, not just ULP-close.
+    std::mt19937 rng(321);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    const std::size_t fan_in = 1;  // below every lane width
+    const std::size_t fan_out = 5;
+    std::vector<double> weights(fan_in * fan_out);
+    std::vector<double> biases(fan_out);
+    std::vector<double> in(fan_in);
+    for (double& w : weights) w = dist(rng);
+    for (double& b : biases) b = dist(rng);
+    for (double& x : in) x = dist(rng);
+    std::vector<double> expected(fan_out);
+    scalar_table().mlp_forward_layer(weights.data(), biases.data(),
+                                            in.data(), fan_in, fan_out,
+                                            expected.data());
+    for (Path path : vector_paths()) {
+        std::vector<double> actual(fan_out);
+        kernels_for(path).mlp_forward_layer(weights.data(), biases.data(),
+                                            in.data(), fan_in, fan_out,
+                                            actual.data());
+        for (std::size_t j = 0; j < fan_out; ++j) {
+            EXPECT_EQ(expected[j], actual[j]) << to_string(path);
+        }
+    }
+}
+
+TEST(SimdMlpTest, BackpropDeltaBitwise) {
+    std::mt19937 rng(456);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    for (const auto& [width, next_fan_out] : mlp_shapes()) {
+        std::vector<double> next_weights(width * next_fan_out);
+        std::vector<double> next_delta(next_fan_out);
+        for (double& w : next_weights) w = dist(rng);
+        for (double& d : next_delta) d = dist(rng);
+
+        std::vector<double> expected(width);
+        scalar_table().mlp_backprop_delta(next_weights.data(),
+                                                 next_delta.data(), width,
+                                                 next_fan_out,
+                                                 expected.data());
+        for (Path path : vector_paths()) {
+            std::vector<double> actual(width, -1.0);
+            kernels_for(path).mlp_backprop_delta(next_weights.data(),
+                                                 next_delta.data(), width,
+                                                 next_fan_out, actual.data());
+            for (std::size_t j = 0; j < width; ++j) {
+                EXPECT_EQ(expected[j], actual[j])
+                    << to_string(path) << " at j=" << j << " shape ("
+                    << width << ", " << next_fan_out << ")";
+            }
+        }
+    }
+}
+
+TEST(SimdMlpTest, SgdUpdateBitwise) {
+    std::mt19937 rng(789);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    for (const auto& [fan_in, fan_out] : mlp_shapes()) {
+        std::vector<double> weights(fan_in * fan_out);
+        std::vector<double> velocity(fan_in * fan_out);
+        std::vector<double> in(fan_in);
+        std::vector<double> deltas(fan_out);
+        for (double& w : weights) w = dist(rng);
+        for (double& v : velocity) v = dist(rng);
+        for (double& x : in) x = dist(rng);
+        for (double& d : deltas) d = dist(rng);
+
+        std::vector<double> ref_weights = weights;
+        std::vector<double> ref_velocity = velocity;
+        scalar_table().mlp_sgd_layer(
+            ref_weights.data(), ref_velocity.data(), in.data(), deltas.data(),
+            fan_in, fan_out, 0.01, 0.9, 1e-4);
+        for (Path path : vector_paths()) {
+            std::vector<double> w = weights;
+            std::vector<double> v = velocity;
+            kernels_for(path).mlp_sgd_layer(w.data(), v.data(), in.data(),
+                                            deltas.data(), fan_in, fan_out,
+                                            0.01, 0.9, 1e-4);
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                EXPECT_EQ(ref_weights[i], w[i]) << to_string(path);
+                EXPECT_EQ(ref_velocity[i], v[i]) << to_string(path);
+            }
+        }
+    }
+}
+
+TEST(SimdMlpTest, NetworkPredictAndTrainCloseAcrossPaths) {
+    // End-to-end through forecast::MlpNetwork: an identical seed trained
+    // under each path. Training chaotically amplifies the forward pass's
+    // ULP-level reassociation, so only loose relative agreement is
+    // required here (the golden suite pins the full-pipeline outcome).
+    std::mt19937 rng(31415);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    const std::size_t examples = 24;
+    std::vector<std::vector<double>> inputs;
+    std::vector<double> targets;
+    for (std::size_t e = 0; e < examples; ++e) {
+        std::vector<double> x(8);
+        for (double& v : x) v = dist(rng);
+        targets.push_back(0.3 * x[0] + 0.5 * x[7] + 0.05 * dist(rng));
+        inputs.push_back(std::move(x));
+    }
+    forecast::MlpTrainOptions options;
+    options.epochs = 5;
+    options.validation_fraction = 0.0;
+    options.seed = 97;
+
+    const PathGuard guard;
+    set_path(Path::kScalar);
+    forecast::MlpNetwork scalar_net({8, 12, 1},
+                                    forecast::Activation::kTanh, 7);
+    scalar_net.train(inputs, targets, options);
+    const double scalar_pred = scalar_net.predict(inputs[0]);
+
+    for (Path path : vector_paths()) {
+        set_path(path);
+        forecast::MlpNetwork net({8, 12, 1}, forecast::Activation::kTanh, 7);
+        net.train(inputs, targets, options);
+        const double pred = net.predict(inputs[0]);
+        EXPECT_NEAR(scalar_pred, pred,
+                    1e-6 * std::max(1.0, std::fabs(scalar_pred)))
+            << to_string(path);
+    }
+}
+
+}  // namespace
+}  // namespace atm::simd

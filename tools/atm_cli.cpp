@@ -27,6 +27,7 @@
 #include "exec/arg_parser.hpp"
 #include "exec/cancel.hpp"
 #include "forecast/backtest.hpp"
+#include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
 #include "ticketing/characterization.hpp"
 #include "timeseries/stats.hpp"
@@ -67,6 +68,9 @@ void add_pipeline_flags(exec::ArgParser& parser) {
         .option("epsilon", "5", "discretization factor, % of VM capacity")
         .option("train-days", "5", "days of training history")
         .option("jobs", "0", "worker threads; 0 = hardware concurrency")
+        .option("simd", "",
+                "force the SIMD kernel path: scalar|avx2|avx512|neon "
+                "(default: best supported; env ATM_SIMD)")
         .option("box", "", "evaluate only the box with this name")
         .option("metrics-out", "",
                 "write a JSON stage-metrics report (atm.metrics.v1) here")
@@ -123,6 +127,17 @@ core::FleetConfig fleet_config_from_flags(const exec::ArgParser& parser) {
     config.pipeline.epsilon_pct = parser.get_double("epsilon");
     config.pipeline.train_days = parser.get_int("train-days");
     config.jobs = parser.get_int("jobs");
+
+    // The flag wins over a conflicting ATM_SIMD environment variable —
+    // both go through simd::set_path, so an unsupported choice is a
+    // usage error before any work starts.
+    if (const std::string& simd = parser.get("simd"); !simd.empty()) {
+        try {
+            simd::set_path(simd::parse_path(simd));
+        } catch (const std::invalid_argument& e) {
+            throw exec::ArgParseError(e.what());
+        }
+    }
     config.skip_gappy_boxes = !parser.get_flag("include-gappy");
     if (!parser.get("box").empty()) config.box_names = {parser.get("box")};
 
