@@ -7,6 +7,8 @@ never interrupted. Wall-clock fields can never match between two runs, so
 they are stripped before comparing:
 
   * top-level `jobs` and `wall_seconds`
+  * the top-level `scheduler` section (worker/shard geometry and arena
+    counters — execution shape, which legitimately differs across jobs)
   * every `timers` object inside a metrics snapshot (fleet and per-box)
 
 Everything else — counters (including robust.retry.*), gauges, the
@@ -24,7 +26,7 @@ def strip_volatile(doc):
         return {
             key: strip_volatile(value)
             for key, value in doc.items()
-            if key not in ("jobs", "wall_seconds", "timers")
+            if key not in ("jobs", "wall_seconds", "timers", "scheduler")
         }
     if isinstance(doc, list):
         return [strip_volatile(item) for item in doc]

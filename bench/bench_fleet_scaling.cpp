@@ -9,11 +9,25 @@
 // atm.bench.v1) to ATM_BENCH_JSON (default BENCH_fleet.json) so CI and
 // before/after comparisons can diff machine-readable numbers.
 //
+// The largest multi-worker row whose worker count fits the machine is
+// additionally *asserted*: its speedup over jobs=1 must clear a floor
+// scaled to the hardware (>=8 threads: 2.0x, >=4: 1.6x, >=2: 1.1x,
+// single-core: 0.75x — i.e. scheduling overhead must stay small even
+// where no parallel speedup is physically possible). A violation exits
+// nonzero so CI catches scaling regressions. ATM_BENCH_MIN_SPEEDUP
+// overrides the floor (set 0 to disable).
+//
+// ATM_PAPER_SCALE=1 appends the paper-scale section: a 6000-box /
+// ~80K-VM / 7-day fleet (the population of the DSN'16 datacenter) timed
+// at jobs=1 and jobs=8, with peak RSS and the scheduler's arena
+// counters, written under "paper" in the JSON artifact.
+//
 // Knobs: ATM_BOXES (default 24), ATM_MAX_JOBS (default
 // max(8, hardware concurrency) so the sweep exercises oversubscription
 // even on small CI runners), ATM_JOBS (explicit comma-separated sweep,
 // e.g. ATM_JOBS=1,3,12 — overrides ATM_MAX_JOBS; jobs=1 is always
-// prepended as the determinism reference), ATM_SEED, ATM_BENCH_JSON.
+// prepended as the determinism reference), ATM_SEED, ATM_BENCH_JSON,
+// ATM_PAPER_SCALE, ATM_PAPER_BOXES, ATM_BENCH_MIN_SPEEDUP.
 
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +35,10 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_common.hpp"
 #include "core/fleet.hpp"
@@ -68,6 +86,50 @@ std::vector<int> sweep_job_counts(int max_jobs) {
     return job_counts;
 }
 
+/// Peak resident set size of the process so far, in bytes (0 where
+/// getrusage is unavailable). Monotone over the process lifetime, so
+/// report it after the largest run.
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+/// Minimum acceptable speedup of the largest machine-fitting parallel
+/// row over jobs=1, scaled to what the hardware can deliver.
+double min_speedup_floor(unsigned hw) {
+    if (const char* env = std::getenv("ATM_BENCH_MIN_SPEEDUP")) {
+        return std::atof(env);
+    }
+    if (hw >= 8) return 2.0;
+    if (hw >= 4) return 1.6;
+    if (hw >= 2) return 1.1;
+    // Single hardware thread: no speedup is possible; require only that
+    // the sharded scheduler's overhead stays bounded.
+    return 0.75;
+}
+
+atm::obs::json::Value exec_stats_json(const atm::core::FleetExecStats& stats) {
+    namespace json = atm::obs::json;
+    json::Value v = json::Value::make_object();
+    v.set("workers", json::Value::of(static_cast<std::int64_t>(stats.workers)));
+    v.set("shard_size",
+          json::Value::of(static_cast<std::uint64_t>(stats.shard_size)));
+    v.set("arena_bytes_reserved", json::Value::of(stats.arena_bytes_reserved));
+    v.set("arena_high_water", json::Value::of(stats.arena_high_water));
+    v.set("arena_allocations", json::Value::of(stats.arena_allocations));
+    v.set("arena_slabs", json::Value::of(stats.arena_slabs));
+    return v;
+}
+
 }  // namespace
 
 int main() {
@@ -104,6 +166,11 @@ int main() {
     core::FleetResult reference;
     const std::vector<int> job_counts = sweep_job_counts(max_jobs);
 
+    // Speedup of the largest parallel row that fits the machine (jobs <=
+    // hardware threads) — the row the scaling assertion judges.
+    double asserted_speedup = -1.0;
+    int asserted_jobs = 0;
+
     obs::json::Value runs = obs::json::Value::make_array();
     for (const int jobs : job_counts) {
         config.jobs = jobs;
@@ -131,9 +198,21 @@ int main() {
             fleet.wall_seconds > 0.0
                 ? static_cast<double>(t.boxes.size()) / fleet.wall_seconds
                 : 0.0;
+        if (jobs > 1 &&
+            (hw < 2 || jobs <= static_cast<int>(hw)) && jobs >= asserted_jobs) {
+            asserted_jobs = jobs;
+            asserted_speedup = speedup;
+        }
         std::printf("%6d %10.2f %11.2f %8.2fx %s\n", jobs, fleet.wall_seconds,
                     boxes_per_sec, speedup,
                     jobs == 1 ? "(reference)" : (identical ? "yes" : "NO"));
+        if (!identical) {
+            std::fprintf(stderr,
+                         "FAIL: jobs=%d results differ from the jobs=1 "
+                         "reference\n",
+                         jobs);
+            return 1;
+        }
 
         obs::json::Value run = obs::json::Value::make_object();
         run.set("jobs", obs::json::Value::of(static_cast<std::int64_t>(jobs)));
@@ -141,6 +220,7 @@ int main() {
         run.set("boxes_per_sec", obs::json::Value::of(boxes_per_sec));
         run.set("speedup", obs::json::Value::of(speedup));
         run.set("identical", obs::json::Value::of(identical));
+        run.set("exec_stats", exec_stats_json(fleet.exec_stats));
         runs.array.push_back(std::move(run));
     }
 
@@ -156,6 +236,8 @@ int main() {
             obs::json::Value::of(static_cast<std::int64_t>(options.num_days)));
     doc.set("seed", obs::json::Value::of(
                         static_cast<std::uint64_t>(options.seed)));
+    doc.set("hardware_threads",
+            obs::json::Value::of(static_cast<std::uint64_t>(hw)));
     // Dispatched SIMD kernel path: rows from different ISAs are not
     // comparable wall-clock-for-wall-clock, so stamp the provenance.
     doc.set("simd", obs::json::Value::of(reference.simd_path));
@@ -169,10 +251,94 @@ int main() {
     }
     doc.set("counters", std::move(counters));
 
+    // ---- paper-scale section (opt-in: it is minutes of work) -----------
+    if (bench::env_int("ATM_PAPER_SCALE", 0) != 0) {
+        trace::TraceGenOptions paper_options;
+        paper_options.num_boxes = bench::env_int("ATM_PAPER_BOXES", 6000);
+        paper_options.num_days = 7;
+        // ~13.3 VMs/box x 6000 boxes ~= the paper's ~80K-VM datacenter.
+        paper_options.mean_vms_per_box = 13.3;
+        paper_options.gappy_box_fraction = 0.0;
+        paper_options.seed = options.seed;
+        std::printf("\npaper scale: generating %d boxes x %d days...\n",
+                    paper_options.num_boxes, paper_options.num_days);
+        const trace::Trace paper_trace = trace::generate_trace(paper_options);
+        std::printf("paper scale: %zu boxes / %zu VMs\n", paper_trace.boxes.size(),
+                    paper_trace.total_vms());
+
+        core::FleetConfig paper_config = config;
+        paper_config.collect_metrics = false;  // pure wall-clock run
+
+        obs::json::Value paper_runs = obs::json::Value::make_array();
+        std::printf("%6s %10s %11s %14s %16s\n", "jobs", "wall(s)",
+                    "boxes/sec", "peak RSS(MB)", "arena high(MB)");
+        std::int64_t paper_cpu_after = -1;
+        for (const int jobs : {1, 8}) {
+            paper_config.jobs = jobs;
+            const core::FleetResult fleet =
+                core::run_pipeline_on_fleet(paper_trace, paper_config);
+            const double boxes_per_sec =
+                fleet.wall_seconds > 0.0
+                    ? static_cast<double>(paper_trace.boxes.size()) /
+                          fleet.wall_seconds
+                    : 0.0;
+            const std::uint64_t rss = peak_rss_bytes();
+            std::printf("%6d %10.2f %11.2f %14.1f %16.2f\n", jobs,
+                        fleet.wall_seconds, boxes_per_sec,
+                        static_cast<double>(rss) / (1024.0 * 1024.0),
+                        static_cast<double>(fleet.exec_stats.arena_high_water) /
+                            (1024.0 * 1024.0));
+            // Cheap cross-jobs identity probe on the aggregate (the small
+            // sweep above does the exhaustive per-box comparison).
+            const std::int64_t cpu_after =
+                fleet.totals.empty() ? 0 : fleet.totals[0].cpu_after;
+            if (paper_cpu_after < 0) {
+                paper_cpu_after = cpu_after;
+            } else if (cpu_after != paper_cpu_after) {
+                std::fprintf(stderr,
+                             "FAIL: paper-scale jobs=%d aggregate differs\n",
+                             jobs);
+                return 1;
+            }
+            obs::json::Value run = obs::json::Value::make_object();
+            run.set("jobs",
+                    obs::json::Value::of(static_cast<std::int64_t>(jobs)));
+            run.set("wall_seconds", obs::json::Value::of(fleet.wall_seconds));
+            run.set("boxes_per_sec", obs::json::Value::of(boxes_per_sec));
+            run.set("peak_rss_bytes", obs::json::Value::of(rss));
+            run.set("exec_stats", exec_stats_json(fleet.exec_stats));
+            paper_runs.array.push_back(std::move(run));
+        }
+        obs::json::Value paper = obs::json::Value::make_object();
+        paper.set("boxes", obs::json::Value::of(static_cast<std::uint64_t>(
+                               paper_trace.boxes.size())));
+        paper.set("vms", obs::json::Value::of(static_cast<std::uint64_t>(
+                             paper_trace.total_vms())));
+        paper.set("days", obs::json::Value::of(static_cast<std::int64_t>(
+                              paper_options.num_days)));
+        paper.set("runs", std::move(paper_runs));
+        doc.set("paper", std::move(paper));
+    }
+
     const char* out_env = std::getenv("ATM_BENCH_JSON");
     const std::string out_path =
         out_env != nullptr ? out_env : "BENCH_fleet.json";
     bench::write_json_file(out_path, doc);
     std::printf("\nwrote %s\n", out_path.c_str());
+
+    // ---- scaling assertion ---------------------------------------------
+    const double floor = min_speedup_floor(hw);
+    if (asserted_jobs > 0 && floor > 0.0) {
+        std::printf("scaling assertion: jobs=%d speedup %.2fx vs floor %.2fx "
+                    "(%u hardware threads)\n",
+                    asserted_jobs, asserted_speedup, floor, hw);
+        if (asserted_speedup < floor) {
+            std::fprintf(stderr,
+                         "FAIL: jobs=%d speedup %.2fx is below the %.2fx "
+                         "floor for this machine\n",
+                         asserted_jobs, asserted_speedup, floor);
+            return 1;
+        }
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
 //
 // Usage: datacenter_study [num_boxes] [threshold_pct] [jobs]
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -68,8 +69,10 @@ int main(int argc, char** argv) {
         ratios.push_back(100.0 * b.result.search.signature_ratio(series));
         apes.push_back(100.0 * b.result.ape_all);
     }
-    const long before = fleet.totals[0].cpu_before + fleet.totals[0].ram_before;
-    const long after = fleet.totals[0].cpu_after + fleet.totals[0].ram_after;
+    const std::int64_t before =
+        fleet.totals[0].cpu_before + fleet.totals[0].ram_before;
+    const std::int64_t after =
+        fleet.totals[0].cpu_after + fleet.totals[0].ram_after;
 
     std::printf("ATM on %zu gap-free boxes (CBC + AR temporal model, %d jobs, "
                 "%.2fs wall):\n",
@@ -77,8 +80,8 @@ int main(int argc, char** argv) {
     std::printf("  signature ratio: mean %.0f%% of series need a temporal model\n",
                 ts::mean(ratios));
     std::printf("  next-day prediction APE: mean %.1f%%\n", ts::mean(apes));
-    std::printf("  tickets (CPU+RAM): %ld -> %ld  (%.1f%% reduction)\n", before,
-                after,
+    std::printf("  tickets (CPU+RAM): %lld -> %lld  (%.1f%% reduction)\n",
+                static_cast<long long>(before), static_cast<long long>(after),
                 before > 0 ? 100.0 * static_cast<double>(before - after) /
                                  static_cast<double>(before)
                            : 0.0);

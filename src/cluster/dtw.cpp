@@ -99,7 +99,7 @@ std::uint64_t dtw_cell_count(std::size_t n, std::size_t m, int band) {
 la::FlatMatrix dtw_distance_matrix(
     const std::vector<std::vector<double>>& series, int band,
     exec::ThreadPool* pool, obs::MetricsRegistry* metrics,
-    const exec::CancellationToken* cancel) {
+    const exec::CancellationToken* cancel, DtwWorkspace* caller_workspace) {
     const std::size_t n = series.size();
     la::FlatMatrix dist(n, n, 0.0);
     if (n < 2) return dist;
@@ -133,7 +133,15 @@ la::FlatMatrix dtw_distance_matrix(
         }
         std::size_t j = i + 1 + static_cast<std::size_t>(begin - offset);
 
-        DtwWorkspace workspace;  // reused across the chunk's pairs
+        // Reused across the chunk's pairs. Serial runs (no pool) borrow
+        // the caller's workspace when offered — the per-worker
+        // arena-backed scratch of the sharded fleet scheduler — so
+        // repeated matrices stop re-growing DP rows. Pooled chunks run
+        // on different threads and keep private workspaces.
+        DtwWorkspace local_workspace;
+        DtwWorkspace& workspace =
+            (pool == nullptr && caller_workspace != nullptr) ? *caller_workspace
+                                                             : local_workspace;
         // Cell counting is only observable through the registry, and
         // dtw_cell_count walks every row — skip it entirely without a
         // registry and memoize per shape with one (consecutive pairs
@@ -219,7 +227,7 @@ la::FlatMatrix dtw_distance_matrix(
 const la::FlatMatrix& DtwMatrixCache::matrix(
     const std::vector<std::vector<double>>& series, int band,
     exec::ThreadPool* pool, obs::MetricsRegistry* metrics,
-    const exec::CancellationToken* cancel) {
+    const exec::CancellationToken* cancel, DtwWorkspace* workspace) {
     if (series_count_ == 0) {
         series_count_ = series.size();
     } else if (series_count_ != series.size()) {
@@ -234,7 +242,8 @@ const la::FlatMatrix& DtwMatrixCache::matrix(
     }
     if (metrics != nullptr) metrics->add("cluster.dtw.cache_misses");
     return by_band_
-        .emplace(band, dtw_distance_matrix(series, band, pool, metrics, cancel))
+        .emplace(band, dtw_distance_matrix(series, band, pool, metrics, cancel,
+                                           workspace))
         .first->second;
 }
 

@@ -14,6 +14,7 @@
 #include "core/fleet_journal.hpp"
 #include "exec/journal.hpp"
 #include "exec/seed.hpp"
+#include "exec/shard.hpp"
 #include "exec/thread_pool.hpp"
 #include "linalg/simd/simd.hpp"
 
@@ -51,7 +52,7 @@ std::vector<int> select_boxes(const trace::Trace& trace,
 /// Sums per-box policy tickets into the fleet totals and computes the
 /// mean APEs; boxes that failed contribute nothing.
 void aggregate(const FleetConfig& config, FleetResult& fleet) {
-    fleet.totals.assign(config.policies.size(), PolicyTickets{});
+    fleet.totals.assign(config.policies.size(), FleetPolicyTotals{});
     for (std::size_t p = 0; p < config.policies.size(); ++p) {
         fleet.totals[p].policy = config.policies[p];
     }
@@ -73,10 +74,16 @@ void aggregate(const FleetConfig& config, FleetResult& fleet) {
         }
         for (std::size_t p = 0;
              p < b.result.policies.size() && p < fleet.totals.size(); ++p) {
-            fleet.totals[p].cpu_before += b.result.policies[p].cpu_before;
-            fleet.totals[p].cpu_after += b.result.policies[p].cpu_after;
-            fleet.totals[p].ram_before += b.result.policies[p].ram_before;
-            fleet.totals[p].ram_after += b.result.policies[p].ram_after;
+            // Widen before summing: per-box counts are int, but a
+            // paper-scale fleet sum can exceed 2^31.
+            fleet.totals[p].cpu_before +=
+                static_cast<std::int64_t>(b.result.policies[p].cpu_before);
+            fleet.totals[p].cpu_after +=
+                static_cast<std::int64_t>(b.result.policies[p].cpu_after);
+            fleet.totals[p].ram_before +=
+                static_cast<std::int64_t>(b.result.policies[p].ram_before);
+            fleet.totals[p].ram_after +=
+                static_cast<std::int64_t>(b.result.policies[p].ram_after);
         }
     }
     if (evaluated > 0) {
@@ -239,9 +246,40 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     const unsigned jobs = resolve_jobs(config.jobs);
     fleet.jobs = static_cast<int>(jobs);
     // jobs == 1 runs strictly on the calling thread; the determinism tests
-    // compare this path against the pooled one.
-    std::unique_ptr<exec::ThreadPool> pool;
-    if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs);
+    // compare this path against the pooled one. jobs > 1 borrows the
+    // process-wide pool (grown to jobs - 1 helpers, the caller is worker
+    // 0) instead of spawning a pool per run — repeated fleet runs reuse
+    // warm threads.
+    exec::ThreadPool* pool =
+        jobs > 1 ? &exec::shared_pool(jobs - 1) : nullptr;
+
+    // One reusable workspace per worker: a bump arena backing the DTW and
+    // MLP scratch plus the per-box DTW memo. Workers evaluate box after
+    // box on the same workspace, so steady-state inner kernels allocate
+    // nothing; scratch contents never affect results.
+    std::vector<std::unique_ptr<PipelineWorkspace>> workspaces;
+    workspaces.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w) {
+        workspaces.push_back(std::make_unique<PipelineWorkspace>());
+    }
+
+    exec::ShardOptions shard_options;
+    shard_options.workers = jobs;
+    shard_options.shard_size =
+        config.shard_size > 0 ? static_cast<std::size_t>(config.shard_size) : 0;
+    fleet.exec_stats.workers = static_cast<int>(jobs);
+    fleet.exec_stats.shard_size = exec::resolve_shard_size(
+        selected.size(), jobs, shard_options.shard_size);
+
+    // Lend the fleet pool to each box's DTW matrix only when there are
+    // fewer boxes than workers — otherwise box-level sharding already
+    // saturates the workers and nested task fan-out would only add queue
+    // contention (each box then computes its DTW serially on its worker's
+    // own workspace).
+    exec::ThreadPool* box_pool =
+        (pool != nullptr && selected.size() < static_cast<std::size_t>(jobs))
+            ? pool
+            : nullptr;
 
     std::unique_ptr<DeadlineWatchdog> watchdog;
     if (config.box_deadline_seconds > 0.0) {
@@ -250,7 +288,8 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
 
     const int max_attempts = 1 + std::max(0, config.max_retries);
     fleet.boxes.resize(selected.size());
-    exec::parallel_for_each(pool.get(), selected.size(), [&](std::size_t task) {
+    exec::run_sharded(pool, selected.size(), shard_options, [&](unsigned worker,
+                                                                std::size_t task) {
         const int box_index = selected[task];
         FleetBoxResult& slot = fleet.boxes[task];
         slot.box_index = box_index;
@@ -293,9 +332,9 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
                     static_cast<std::uint64_t>(box_index),
                     static_cast<std::uint64_t>(attempt)};
                 ATM_FAULT_SITE(fault, "fleet.box");
-                evaluate_box(box_index, pool.get(),
+                evaluate_box(box_index, box_pool,
                              static_cast<std::uint64_t>(attempt), &box_cancel,
-                             slot.result);
+                             workspaces[worker].get(), slot.result);
             } catch (const PipelineError& e) {
                 slot.error = e.what();
                 slot.error_code = e.code();
@@ -337,6 +376,13 @@ FleetResult run_fleet(const trace::Trace& trace, const FleetConfig& config,
     });
 
     aggregate(config, fleet);
+    for (const std::unique_ptr<PipelineWorkspace>& ws : workspaces) {
+        const exec::ArenaStats& stats = ws->arena.stats();
+        fleet.exec_stats.arena_bytes_reserved += stats.bytes_reserved;
+        fleet.exec_stats.arena_high_water += stats.high_water;
+        fleet.exec_stats.arena_allocations += stats.allocations;
+        fleet.exec_stats.arena_slabs += stats.slabs;
+    }
     for (const FleetBoxResult& b : fleet.boxes) {
         if (replayed.count(b.box_index) != 0) ++fleet.boxes_replayed;
     }
@@ -402,6 +448,10 @@ std::string FleetConfig::validate() const {
         add("jobs must be >= 0 (0 = hardware concurrency), got " +
             std::to_string(jobs));
     }
+    if (shard_size < 0) {
+        add("shard_size must be >= 0 (0 = auto), got " +
+            std::to_string(shard_size));
+    }
     if (max_retries < 0) {
         add("max_retries must be >= 0, got " + std::to_string(max_retries));
     }
@@ -452,7 +502,7 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
         [&trace, &config](int box_index, exec::ThreadPool* pool,
                           std::uint64_t attempt,
                           const exec::CancellationToken* cancel,
-                          BoxPipelineResult& out) {
+                          PipelineWorkspace* workspace, BoxPipelineResult& out) {
             PipelineConfig box_config = config.pipeline;
             // Per-box seed from (fleet seed, box index): independent of
             // worker count and scheduling order, distinct per box. Retry
@@ -464,11 +514,14 @@ FleetResult run_pipeline_on_fleet(const trace::Trace& trace,
             if (attempt != 0) seed = exec::derive_seed(seed, attempt);
             box_config.seed = static_cast<unsigned>(seed);
             box_config.cancel = cancel;
-            // Let the box borrow the fleet pool for its DTW matrix and
-            // memoize the matrix across the cluster sweep.
-            cluster::DtwMatrixCache dtw_cache;
+            // Per-worker scratch: DTW/MLP workspaces draw from the
+            // worker's arena, and the DTW matrix memo is reused across
+            // boxes (cleared first — it is per-box). The pool is the
+            // fleet's only when boxes are scarcer than workers.
+            workspace->dtw_cache.clear();
+            box_config.workspace = workspace;
             box_config.search.pool = pool;
-            box_config.search.dtw_cache = &dtw_cache;
+            box_config.search.dtw_cache = &workspace->dtw_cache;
             // One registry per box: pool workers touching this box's DTW
             // rows write counters here, never into another box's registry.
             std::optional<obs::MetricsRegistry> registry;
@@ -520,6 +573,7 @@ FleetResult evaluate_resize_on_fleet(const trace::Trace& trace, int day,
                      [&trace, &config, day](int box_index, exec::ThreadPool*,
                                             std::uint64_t /*attempt*/,
                                             const exec::CancellationToken*,
+                                            PipelineWorkspace* /*workspace*/,
                                             BoxPipelineResult& out) {
                          std::optional<obs::MetricsRegistry> registry;
                          if (config.collect_metrics) registry.emplace();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,14 @@ struct FleetConfig {
     /// value — per-box seeds are derived from `pipeline.seed` and the box
     /// index (splitmix64), never from scheduling order.
     int jobs = 0;
+
+    /// Boxes per scheduler shard: 0 picks ~8 shards per worker (clamped
+    /// to [1, 64]). Purely an execution knob — workers claim whole shards
+    /// from an atomic cursor, so larger shards mean fewer claims (less
+    /// contention) and smaller shards mean better load balance, but the
+    /// per-box results never depend on it. Excluded from the checkpoint
+    /// journal's config digest for the same reason as `jobs`.
+    int shard_size = 0;
 
     /// Drop boxes whose monitoring data has gaps (the paper's Section V
     /// evaluation keeps only the gap-free boxes).
@@ -121,6 +130,52 @@ struct FleetBoxResult {
     int attempts = 1;
 };
 
+/// Fleet-wide ticket sums for one policy. Deliberately wider than the
+/// per-box PolicyTickets: a paper-scale fleet (thousands of boxes x
+/// hundreds of windows x tens of VMs) overflows 32-bit sums long before
+/// it overflows per-box counts, so the accumulators are 64-bit.
+struct FleetPolicyTotals {
+    resize::ResizePolicy policy = resize::ResizePolicy::kAtmGreedy;
+    std::int64_t cpu_before = 0;
+    std::int64_t cpu_after = 0;
+    std::int64_t ram_before = 0;
+    std::int64_t ram_after = 0;
+
+    /// Signed reduction percentage; 0 when there were no tickets before.
+    [[nodiscard]] double cpu_reduction_pct() const {
+        return cpu_before == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(cpu_before - cpu_after) /
+                         static_cast<double>(cpu_before);
+    }
+    [[nodiscard]] double ram_reduction_pct() const {
+        return ram_before == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(ram_before - ram_after) /
+                         static_cast<double>(ram_before);
+    }
+};
+
+/// How the sharded scheduler executed a fleet run: worker/shard geometry
+/// plus the per-worker arena counters summed over all workers. Purely
+/// observational (never part of the resume-equivalence contract or the
+/// golden metrics) — reported in the metrics report's "scheduler"
+/// section and the fleet benchmarks.
+struct FleetExecStats {
+    /// Workers the scheduler ran with (== FleetResult::jobs).
+    int workers = 0;
+    /// Resolved boxes-per-shard the run used (after the 0 = auto rule).
+    std::size_t shard_size = 0;
+    /// Sum over workers of each arena's slab bytes reserved.
+    std::uint64_t arena_bytes_reserved = 0;
+    /// Sum over workers of each arena's high-water mark (live bytes).
+    std::uint64_t arena_high_water = 0;
+    /// Sum over workers of arena allocation calls served.
+    std::uint64_t arena_allocations = 0;
+    /// Sum over workers of slabs created.
+    std::uint64_t arena_slabs = 0;
+};
+
 /// Fleet-level outcome: per-box results plus cross-box aggregates.
 struct FleetResult {
     /// One entry per *evaluated* box (selected, gap-filtered, capped), in
@@ -140,8 +195,8 @@ struct FleetResult {
 
     /// Fleet-wide ticket sums per policy, same order as
     /// FleetConfig::policies: cpu/ram before and after summed over every
-    /// successfully evaluated box.
-    std::vector<PolicyTickets> totals;
+    /// successfully evaluated box (64-bit — see FleetPolicyTotals).
+    std::vector<FleetPolicyTotals> totals;
 
     /// Mean per-box APE over successfully evaluated boxes ("All" /
     /// "Peak" of Fig. 9; peak mean skips boxes without peak windows).
@@ -174,6 +229,9 @@ struct FleetResult {
     /// True when FleetConfig::stop drained this run: some boxes were
     /// recorded as kCancelled without being evaluated (or journaled).
     bool interrupted = false;
+    /// Scheduler/arena execution statistics (like wall_seconds and jobs,
+    /// excluded from the determinism and resume-equivalence contracts).
+    FleetExecStats exec_stats;
 
     [[nodiscard]] std::size_t boxes_evaluated() const {
         return boxes.size() - boxes_failed;

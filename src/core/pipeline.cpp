@@ -275,6 +275,9 @@ BoxPipelineResult run_pipeline_on_box(
         SignatureSearchOptions search = config.search;
         search.metrics = metrics;
         search.cancel = config.cancel;
+        if (config.workspace != nullptr) {
+            search.dtw_workspace = &config.workspace->dtw;
+        }
         try {
             ATM_FAULT_SITE(config.fault, "search.step1");
             result.search = find_signatures(scoped_train, search);
@@ -340,7 +343,8 @@ BoxPipelineResult run_pipeline_on_box(
             const std::string model_name = forecast::to_string(model);
             auto forecaster = forecast::make_forecaster(
                 model, windows_per_day, config.seed + static_cast<unsigned>(s),
-                metrics, config.cancel);
+                metrics, config.cancel,
+                config.workspace != nullptr ? &config.workspace->mlp : nullptr);
             {
                 obs::ScopedTimer fit_timer(metrics, "forecast.fit." + model_name);
                 forecaster->fit(scoped_train[static_cast<std::size_t>(s)]);

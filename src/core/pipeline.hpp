@@ -2,18 +2,40 @@
 
 #include <vector>
 
+#include "cluster/dtw.hpp"
 #include "core/errors.hpp"
 #include "core/signature_search.hpp"
 #include "core/spatial_model.hpp"
+#include "exec/arena.hpp"
 #include "exec/cancel.hpp"
 #include "exec/fault.hpp"
 #include "forecast/forecaster.hpp"
+#include "forecast/nn.hpp"
 #include "obs/metrics.hpp"
 #include "resize/policies.hpp"
 #include "ticketing/tickets.hpp"
 #include "tracegen/trace.hpp"
 
 namespace atm::core {
+
+/// Per-worker reusable scratch for run_pipeline_on_box (DESIGN.md
+/// §7.14): one bump arena backing the DTW and MLP workspaces, plus the
+/// per-box DTW matrix memo. The sharded fleet scheduler keeps one per
+/// worker and reuses it box after box, so in the steady state the box
+/// pipeline's inner kernels perform no heap allocation at all. The
+/// caller must clear `dtw_cache` between boxes (it memoizes per series
+/// set); `dtw`/`mlp` are pure scratch and carry nothing across calls —
+/// results are bit-identical with or without a workspace.
+struct PipelineWorkspace {
+    PipelineWorkspace() : dtw(&arena), mlp(&arena) {}
+
+    exec::Arena arena;
+    cluster::DtwWorkspace dtw;
+    forecast::MlpWorkspace mlp;
+    /// Per-box DTW matrix memo (heap-backed: its matrices are per-box
+    /// temporaries, which must not draw from the monotonic arena).
+    cluster::DtwMatrixCache dtw_cache;
+};
 
 /// Configuration of the full ATM pipeline (Section V-A): train the
 /// spatial + temporal models on `train_days` of history, predict the next
@@ -62,6 +84,11 @@ struct PipelineConfig {
     /// signature search (overriding `search.metrics` for the run). Null
     /// disables all instrumentation at near-zero cost.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Optional per-worker scratch (not owned): forwards the DTW
+    /// workspace into the signature search and the MLP workspace into
+    /// the temporal models. Null keeps per-call local scratch. Results
+    /// are bit-identical either way.
+    PipelineWorkspace* workspace = nullptr;
 };
 
 /// Ticket outcome of one policy on one box for one resource.

@@ -64,11 +64,13 @@ SignatureSearchResult find_signatures(
         if (options.dtw_cache != nullptr) {
             dist = &options.dtw_cache->matrix(series, options.dtw_band,
                                               options.pool, metrics,
-                                              options.cancel);
+                                              options.cancel,
+                                              options.dtw_workspace);
         } else {
             local = cluster::dtw_distance_matrix(series, options.dtw_band,
                                                  options.pool, metrics,
-                                                 options.cancel);
+                                                 options.cancel,
+                                                 options.dtw_workspace);
             dist = &local;
         }
         // k in [2, n/2] per the paper ("we aim to reduce the original set to

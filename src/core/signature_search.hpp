@@ -11,6 +11,7 @@ class CancellationToken;
 }
 namespace atm::cluster {
 class DtwMatrixCache;
+struct DtwWorkspace;
 }
 namespace atm::obs {
 class MetricsRegistry;
@@ -54,6 +55,11 @@ struct SignatureSearchOptions {
     /// reuse the matrix instead of recomputing it. Not owned; one cache
     /// per series set.
     cluster::DtwMatrixCache* dtw_cache = nullptr;
+    /// Optional caller-owned DTW scratch (not owned), forwarded to the
+    /// distance matrix for serial (pool-less) computation — the fleet
+    /// scheduler's per-worker arena-backed workspace. Pure scratch:
+    /// results are bit-identical with or without it.
+    cluster::DtwWorkspace* dtw_workspace = nullptr;
     /// Optional stage-metrics sink (not owned). Records search counters
     /// (`search.series`, `search.clusters`, `search.initial_signatures`,
     /// `search.final_signatures`), the clustering silhouette gauge, and

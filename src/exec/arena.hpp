@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+/// Per-worker bump-allocation arenas for the fleet scheduler's hot loop
+/// (DESIGN.md §7.14).
+///
+/// The box pipeline's inner kernels (DTW rolling rows, MLP activations,
+/// lag features) reuse workspace buffers, but at fleet scale every box
+/// task historically started from empty vectors: thousands of boxes x
+/// dozens of grow-reallocations each, all hitting the global allocator
+/// from every worker at once. An Arena gives each scheduler worker one
+/// private slab chain; workspace containers draw from it and the steady
+/// state — every buffer at its high-water size — performs no allocation
+/// at all, arena or otherwise.
+///
+/// Lifetime rules (normative):
+///   * An Arena is monotonic: allocate() never frees, deallocation is a
+///     no-op, and memory is returned only by the Arena's destructor.
+///     Only buffers that live as long as the arena itself — per-worker
+///     workspaces reused across boxes — may draw from it. Per-box
+///     temporaries must stay on the heap, or a long run would leak
+///     arena space linearly in boxes processed.
+///   * Not thread-safe: one Arena per worker, owned by that worker's
+///     workspace, never shared.
+///   * ArenaAllocator with a null arena falls back to the global heap
+///     (operator new/delete), so arena-aware containers default-construct
+///     to exactly the historical behavior.
+namespace atm::exec {
+
+/// Allocation counters for the paper-scale bench and the scheduler
+/// section of metrics reports. All monotone over the arena's lifetime.
+struct ArenaStats {
+    /// Bytes handed out by allocate() (sum of rounded request sizes).
+    std::uint64_t bytes_allocated = 0;
+    /// Bytes reserved from the OS across all slabs.
+    std::uint64_t bytes_reserved = 0;
+    /// High-water mark of bytes_allocated (== bytes_allocated while the
+    /// arena is monotonic; kept separate so the report stays meaningful
+    /// if a scoped-reset mode is ever added).
+    std::uint64_t high_water = 0;
+    /// Number of allocate() calls served.
+    std::uint64_t allocations = 0;
+    /// Slabs owned (including oversize dedicated slabs).
+    std::uint64_t slabs = 0;
+};
+
+/// Monotonic slab bump allocator. Grows by `slab_bytes` chunks; a request
+/// larger than a slab gets its own dedicated slab, so arbitrarily large
+/// buffers still work. Alignment up to alignof(std::max_align_t).
+class Arena {
+  public:
+    static constexpr std::size_t kDefaultSlabBytes = std::size_t{1} << 20;
+
+    explicit Arena(std::size_t slab_bytes = kDefaultSlabBytes)
+        : slab_bytes_(slab_bytes < 64 ? 64 : slab_bytes) {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    void* allocate(std::size_t bytes, std::size_t align) {
+        if (bytes == 0) bytes = 1;
+        if (align < alignof(void*)) align = alignof(void*);
+        std::byte* ptr = aligned_cursor(align);
+        if (ptr == nullptr || ptr + bytes > current_ + current_size_) {
+            // `bytes + align` guarantees room for the aligned pointer even
+            // in a dedicated oversize slab.
+            const std::size_t need = bytes + align;
+            const std::size_t size = need > slab_bytes_ ? need : slab_bytes_;
+            slabs_.push_back(std::make_unique<std::byte[]>(size));
+            current_ = slabs_.back().get();
+            current_size_ = size;
+            cursor_ = 0;
+            stats_.bytes_reserved += size;
+            ++stats_.slabs;
+            ptr = aligned_cursor(align);
+        }
+        cursor_ = static_cast<std::size_t>(ptr - current_) + bytes;
+        stats_.bytes_allocated += bytes;
+        if (stats_.bytes_allocated > stats_.high_water) {
+            stats_.high_water = stats_.bytes_allocated;
+        }
+        ++stats_.allocations;
+        return ptr;
+    }
+
+    [[nodiscard]] const ArenaStats& stats() const { return stats_; }
+
+  private:
+    /// First pointer at or after the bump cursor with the requested
+    /// alignment, or null when no slab exists yet.
+    [[nodiscard]] std::byte* aligned_cursor(std::size_t align) const {
+        if (current_ == nullptr) return nullptr;
+        const auto raw = reinterpret_cast<std::uintptr_t>(current_) + cursor_;
+        const auto aligned =
+            (raw + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+        return current_ + cursor_ + static_cast<std::size_t>(aligned - raw);
+    }
+
+    std::size_t slab_bytes_;
+    std::vector<std::unique_ptr<std::byte[]>> slabs_;
+    std::byte* current_ = nullptr;
+    std::size_t current_size_ = 0;
+    std::size_t cursor_ = 0;
+    ArenaStats stats_;
+};
+
+/// std-compatible allocator over an Arena. A null arena (the default)
+/// uses the global heap, so containers declared with this allocator but
+/// constructed without an arena behave exactly like their std
+/// counterparts. Deallocation into an arena is a no-op (monotonic).
+template <typename T>
+class ArenaAllocator {
+  public:
+    using value_type = T;
+
+    ArenaAllocator() noexcept = default;
+    explicit ArenaAllocator(Arena* arena) noexcept : arena_(arena) {}
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+        : arena_(other.arena()) {}
+
+    T* allocate(std::size_t n) {
+        const std::size_t bytes = n * sizeof(T);
+        if (arena_ != nullptr) {
+            return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+        }
+        return static_cast<T*>(::operator new(bytes));
+    }
+
+    void deallocate(T* ptr, std::size_t) noexcept {
+        if (arena_ == nullptr) ::operator delete(ptr);
+    }
+
+    [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+    template <typename U>
+    bool operator==(const ArenaAllocator<U>& other) const noexcept {
+        return arena_ == other.arena();
+    }
+    template <typename U>
+    bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+        return arena_ != other.arena();
+    }
+
+  private:
+    Arena* arena_ = nullptr;
+};
+
+/// Vector whose storage draws from an Arena (or the heap when constructed
+/// without one). The workspace structs use this for their grown-on-demand
+/// scratch buffers.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace atm::exec

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace atm::exec {
+
+class ThreadPool;
+
+/// Process-wide persistent thread pool for fleet runs. Constructed on
+/// first use and grown (never shrunk) to satisfy the largest
+/// `min_helpers` seen, so repeated fleet runs — benches sweeping --jobs,
+/// resumed checkpoints, CLI invocations in one process — reuse warm
+/// threads instead of paying a spawn/join cycle per run.
+ThreadPool& shared_pool(unsigned min_helpers);
+
+/// Knobs for run_sharded. Both default to "pick for me".
+struct ShardOptions {
+    /// Total workers including the calling thread (0 = pool size + 1).
+    unsigned workers = 0;
+    /// Indices per contiguous shard (0 = auto: enough shards to balance,
+    /// few enough that claiming stays off the hot path).
+    std::size_t shard_size = 0;
+};
+
+/// The shard size run_sharded will use for `n` indices on `workers`
+/// workers when `requested` is 0 (returns `requested` clamped to [1, n]
+/// otherwise). Exposed so the fleet driver can report it.
+std::size_t resolve_shard_size(std::size_t n, unsigned workers,
+                               std::size_t requested);
+
+/// Runs `fn(worker, 0) .. fn(worker, n-1)`, partitioning the index space
+/// into contiguous shards claimed from a single atomic cursor. Each
+/// claimant drains its whole shard before claiming another, so a worker
+/// touches long contiguous runs of indices (cache-friendly when indices
+/// map to adjacent trace boxes) and the claim rate is 1/shard_size of
+/// per-index claiming.
+///
+/// `worker` is a dense id in [0, workers): the calling thread is always
+/// worker 0 and participates fully (the call completes even if the pool
+/// is saturated or null); pool helpers get ids 1..workers-1. The id is
+/// intended to key per-worker workspaces; results must not depend on
+/// which worker ran an index — determinism comes from the index, the
+/// worker id only selects equivalent scratch space.
+///
+/// Exception safety mirrors parallel_for_each: the lowest-index
+/// exception is rethrown on the caller after all in-flight work
+/// finishes; indices above a thrown one may be skipped.
+void run_sharded(ThreadPool* pool, std::size_t n, const ShardOptions& options,
+                 const std::function<void(unsigned, std::size_t)>& fn);
+
+}  // namespace atm::exec

@@ -17,6 +17,17 @@ ThreadPool::ThreadPool(unsigned threads) {
     for (unsigned i = 0; i < threads; ++i) {
         workers_.emplace_back([this] { worker_loop(); });
     }
+    size_.store(threads, std::memory_order_release);
+}
+
+void ThreadPool::grow(unsigned threads) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    while (workers_.size() < threads) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+    size_.store(static_cast<unsigned>(workers_.size()),
+                std::memory_order_release);
 }
 
 ThreadPool::~ThreadPool() {

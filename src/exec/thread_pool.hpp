@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -29,10 +30,15 @@ public:
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /// Number of worker threads.
+    /// Number of worker threads. Safe to call concurrently with grow().
     [[nodiscard]] unsigned size() const {
-        return static_cast<unsigned>(workers_.size());
+        return size_.load(std::memory_order_acquire);
     }
+
+    /// Adds workers until the pool has at least `threads` of them. Never
+    /// shrinks — a persistent pool (see `shared_pool`) only ratchets up to
+    /// the largest --jobs seen. Safe to call while tasks are running.
+    void grow(unsigned threads);
 
     /// Enqueues a task. The task must not throw (wrap work that can throw —
     /// `parallel_for_each` does, capturing the first exception).
@@ -48,7 +54,8 @@ private:
     std::condition_variable work_available_;
     std::condition_variable idle_;
     std::deque<std::function<void()>> queue_;
-    std::vector<std::thread> workers_;
+    std::vector<std::thread> workers_;  // guarded by mutex_
+    std::atomic<unsigned> size_{0};
     std::size_t running_ = 0;
     bool stopping_ = false;
 };

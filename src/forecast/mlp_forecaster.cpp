@@ -22,13 +22,17 @@ void MlpForecaster::fit(std::span<const double> history) {
     scaler_.fit(history);
     const std::vector<double> scaled = scaler_.transform(history);
 
-    const std::vector<ts::LagExample> dataset =
-        ts::make_lag_dataset(scaled, options_.num_lags, options_.seasonal_period);
+    // Flat lag dataset: one contiguous feature block instead of one
+    // vector per example (same rows/values as make_lag_dataset).
+    la::FlatMatrix features;
+    std::vector<double> targets;
+    ts::make_lag_dataset_flat(scaled, options_.num_lags,
+                              options_.seasonal_period, features, targets);
     // Degenerate cases: constant series or not enough history for even one
     // training example — predict the last value.
     const double lo = *std::min_element(history.begin(), history.end());
     const double hi = *std::max_element(history.begin(), history.end());
-    if (dataset.size() < 4 || hi - lo < 1e-12) {
+    if (features.rows() < 4 || hi - lo < 1e-12) {
         degenerate_ = true;
         constant_value_ = history.back();
         network_.reset();
@@ -36,7 +40,7 @@ void MlpForecaster::fit(std::span<const double> history) {
     }
     degenerate_ = false;
 
-    const int input_size = static_cast<int>(dataset.front().lags.size());
+    const int input_size = static_cast<int>(features.cols());
     std::vector<int> layer_sizes;
     layer_sizes.push_back(input_size);
     for (int h : options_.hidden) layer_sizes.push_back(h);
@@ -44,15 +48,7 @@ void MlpForecaster::fit(std::span<const double> history) {
 
     network_ = std::make_unique<MlpNetwork>(layer_sizes, options_.activation,
                                             options_.train.seed);
-    std::vector<std::vector<double>> inputs;
-    std::vector<double> targets;
-    inputs.reserve(dataset.size());
-    targets.reserve(dataset.size());
-    for (const auto& ex : dataset) {
-        inputs.push_back(ex.lags);
-        targets.push_back(ex.target);
-    }
-    network_->train(inputs, targets, options_.train);
+    network_->train(features, targets, options_.train, options_.workspace);
 }
 
 std::vector<double> MlpForecaster::forecast(int horizon) const {
@@ -72,8 +68,12 @@ std::vector<double> MlpForecaster::forecast(int horizon) const {
     const auto period = static_cast<std::size_t>(options_.seasonal_period);
 
     // One workspace and feature buffer reused across the horizon: the
-    // per-step loop below is allocation-free.
-    MlpWorkspace workspace;
+    // per-step loop below is allocation-free. A caller-provided
+    // workspace (per-worker, arena-backed) is reused across boxes too.
+    MlpWorkspace local_workspace;
+    MlpWorkspace& workspace = options_.workspace != nullptr
+                                  ? *options_.workspace
+                                  : local_workspace;
     std::vector<double> features;
     features.reserve(lags + (period > 0 ? 1 : 0));
     for (int h = 0; h < horizon; ++h) {

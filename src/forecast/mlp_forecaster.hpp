@@ -20,6 +20,11 @@ struct MlpForecasterOptions {
     std::vector<int> hidden = {12};
     Activation activation = Activation::kTanh;
     MlpTrainOptions train;
+    /// Optional caller-owned scratch (not owned) shared by fit() and
+    /// forecast() — the fleet scheduler's per-worker arena-backed
+    /// workspace, reused across boxes. Results are identical with or
+    /// without it; null keeps per-call local scratch.
+    MlpWorkspace* workspace = nullptr;
 };
 
 /// Neural-network forecaster: the paper's temporal model for signature

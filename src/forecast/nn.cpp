@@ -133,29 +133,20 @@ std::size_t MlpNetwork::parameter_count() const {
     return count;
 }
 
-double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
-                         std::span<const double> targets,
-                         const MlpTrainOptions& options,
-                         MlpWorkspace* workspace) {
-    if (inputs.size() != targets.size()) {
-        throw std::invalid_argument("MlpNetwork::train: example count mismatch");
-    }
-    if (inputs.empty()) throw std::invalid_argument("MlpNetwork::train: no examples");
-    for (const auto& x : inputs) {
-        if (x.size() != static_cast<std::size_t>(layer_sizes_.front())) {
-            throw std::invalid_argument("MlpNetwork::train: input size mismatch");
-        }
-    }
-
+template <typename RowFn>
+double MlpNetwork::train_impl(RowFn row, std::size_t count,
+                              std::span<const double> targets,
+                              const MlpTrainOptions& options,
+                              MlpWorkspace* workspace) {
     // Hold out the chronologically last fraction as validation (time-series
     // aware: never validate on data older than training samples).
     std::size_t val_count = 0;
-    if (options.validation_fraction > 0.0 && inputs.size() >= 10) {
+    if (options.validation_fraction > 0.0 && count >= 10) {
         val_count = static_cast<std::size_t>(
-            options.validation_fraction * static_cast<double>(inputs.size()));
-        val_count = std::min(val_count, inputs.size() - 1);
+            options.validation_fraction * static_cast<double>(count));
+        val_count = std::min(val_count, count - 1);
     }
-    const std::size_t train_count = inputs.size() - val_count;
+    const std::size_t train_count = count - val_count;
 
     std::vector<std::size_t> order(train_count);
     std::iota(order.begin(), order.end(), 0);
@@ -173,8 +164,8 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
     auto validation_loss = [&]() {
         if (val_count == 0) return 0.0;
         double acc = 0.0;
-        for (std::size_t i = train_count; i < inputs.size(); ++i) {
-            const double err = predict(inputs[i], ws) - targets[i];
+        for (std::size_t i = train_count; i < count; ++i) {
+            const double err = predict(row(i), ws) - targets[i];
             acc += err * err;
         }
         return acc / static_cast<double>(val_count);
@@ -190,7 +181,7 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
         std::shuffle(order.begin(), order.end(), shuffle_rng);
         double train_loss = 0.0;
         for (std::size_t idx : order) {
-            forward(inputs[idx], ws);
+            forward(row(idx), ws);
             const double out = ws.acts.back();
             const double err = out - targets[idx];
             train_loss += err * err;
@@ -251,9 +242,45 @@ double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
         options.metrics->add("forecast.mlp.fits");
         options.metrics->add("forecast.mlp.epochs",
                              static_cast<std::uint64_t>(epochs_run));
-        options.metrics->add("forecast.mlp.examples", inputs.size());
+        options.metrics->add("forecast.mlp.examples", count);
     }
     return val_count > 0 ? best_val : last_train_loss;
+}
+
+double MlpNetwork::train(const std::vector<std::vector<double>>& inputs,
+                         std::span<const double> targets,
+                         const MlpTrainOptions& options,
+                         MlpWorkspace* workspace) {
+    if (inputs.size() != targets.size()) {
+        throw std::invalid_argument("MlpNetwork::train: example count mismatch");
+    }
+    if (inputs.empty()) throw std::invalid_argument("MlpNetwork::train: no examples");
+    for (const auto& x : inputs) {
+        if (x.size() != static_cast<std::size_t>(layer_sizes_.front())) {
+            throw std::invalid_argument("MlpNetwork::train: input size mismatch");
+        }
+    }
+    return train_impl(
+        [&inputs](std::size_t i) { return std::span<const double>(inputs[i]); },
+        inputs.size(), targets, options, workspace);
+}
+
+double MlpNetwork::train(const la::FlatMatrix& inputs,
+                         std::span<const double> targets,
+                         const MlpTrainOptions& options,
+                         MlpWorkspace* workspace) {
+    if (inputs.rows() != targets.size()) {
+        throw std::invalid_argument("MlpNetwork::train: example count mismatch");
+    }
+    if (inputs.rows() == 0) {
+        throw std::invalid_argument("MlpNetwork::train: no examples");
+    }
+    if (inputs.cols() != static_cast<std::size_t>(layer_sizes_.front())) {
+        throw std::invalid_argument("MlpNetwork::train: input size mismatch");
+    }
+    const la::FlatMatrix& rows = inputs;
+    return train_impl([&rows](std::size_t i) { return rows[i]; }, inputs.rows(),
+                      targets, options, workspace);
 }
 
 }  // namespace atm::forecast

@@ -5,6 +5,9 @@
 #include <span>
 #include <vector>
 
+#include "exec/arena.hpp"
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::exec {
 class CancellationToken;
 }
@@ -56,6 +59,16 @@ struct MlpTrainOptions {
 /// concurrent predict/train calls is a race.
 class MlpWorkspace {
   public:
+    MlpWorkspace() = default;
+    /// Arena-backed buffers (per-worker workspaces; the arena must
+    /// outlive the workspace — exec/arena.hpp's lifetime rules).
+    explicit MlpWorkspace(exec::Arena* arena)
+        : acts(exec::ArenaAllocator<double>(arena)),
+          pres(exec::ArenaAllocator<double>(arena)),
+          deltas(exec::ArenaAllocator<double>(arena)),
+          act_off(exec::ArenaAllocator<std::size_t>(arena)),
+          unit_off(exec::ArenaAllocator<std::size_t>(arena)) {}
+
     /// Sizes the buffers for `layer_sizes` ({in, hidden..., out}) if not
     /// already sized for exactly that topology. Idempotent and cheap when
     /// the shape is unchanged — the steady state allocates nothing.
@@ -64,13 +77,13 @@ class MlpWorkspace {
   private:
     friend class MlpNetwork;
 
-    std::vector<double> acts;    ///< activations, all layers incl. input
-    std::vector<double> pres;    ///< pre-activations, layers 1..L
-    std::vector<double> deltas;  ///< backprop deltas, layers 1..L
+    exec::ArenaVector<double> acts;    ///< activations, all layers incl. input
+    exec::ArenaVector<double> pres;    ///< pre-activations, layers 1..L
+    exec::ArenaVector<double> deltas;  ///< backprop deltas, layers 1..L
     /// acts offset of layer l (0-based over layer_sizes).
-    std::vector<std::size_t> act_off;
+    exec::ArenaVector<std::size_t> act_off;
     /// pres/deltas offset of layer l+1 (0-based over weight layers).
-    std::vector<std::size_t> unit_off;
+    exec::ArenaVector<std::size_t> unit_off;
     std::vector<int> sized_for;  ///< topology the offsets were built for
 };
 
@@ -110,6 +123,16 @@ class MlpNetwork {
                  const MlpTrainOptions& options,
                  MlpWorkspace* workspace = nullptr);
 
+    /// Flat-dataset overload: examples are the rows of one contiguous
+    /// row-major block (ts::make_lag_dataset_flat's output) instead of
+    /// per-example vectors — the fleet hot path, which avoids one heap
+    /// allocation per example per fit. Identical results: the epoch
+    /// loop, RNG draw order, and per-example arithmetic are shared with
+    /// the nested-vector overload.
+    double train(const la::FlatMatrix& inputs, std::span<const double> targets,
+                 const MlpTrainOptions& options,
+                 MlpWorkspace* workspace = nullptr);
+
     [[nodiscard]] int input_size() const { return layer_sizes_.front(); }
 
     /// Total trainable parameter count (weights + biases).
@@ -129,6 +152,15 @@ class MlpNetwork {
 
     [[nodiscard]] double activate(double x) const;
     [[nodiscard]] double activate_grad(double activated, double pre) const;
+
+    /// Shared training loop over an example accessor `row(i)` →
+    /// span<const double>; both public overloads (nested vectors, flat
+    /// matrix) funnel here, so their arithmetic cannot diverge.
+    /// Instantiated only in nn.cpp.
+    template <typename RowFn>
+    double train_impl(RowFn row, std::size_t count,
+                      std::span<const double> targets,
+                      const MlpTrainOptions& options, MlpWorkspace* workspace);
 
     /// Forward pass into the workspace's activation/pre-activation
     /// buffers (for backprop and prediction).

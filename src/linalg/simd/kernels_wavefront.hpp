@@ -39,8 +39,7 @@ inline constexpr double kWavefrontInf = std::numeric_limits<double>::infinity();
 /// floor/ceil expressions as the scalar kernel, evaluated once. Windows
 /// are always non-empty and both endpoints are nondecreasing in i.
 inline void compute_band_windows(std::size_t n, std::size_t m, int band,
-                                 std::vector<std::size_t>& jlo,
-                                 std::vector<std::size_t>& jhi) {
+                                 ScratchIdxVec& jlo, ScratchIdxVec& jhi) {
     if (jlo.size() < n + 1) jlo.resize(n + 1);
     if (jhi.size() < n + 1) jhi.resize(n + 1);
     const double slope =
@@ -64,7 +63,7 @@ inline void compute_band_windows(std::size_t n, std::size_t m, int band,
 template <typename V>
 double dtw_distance_wavefront(const double* p, std::size_t n, const double* q,
                               std::size_t m, int band, DtwScratch& scratch) {
-    const auto reset = [](std::vector<double>& a, std::size_t size) {
+    const auto reset = [](ScratchVec& a, std::size_t size) {
         if (a.size() < size) a.resize(size);
         std::fill(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(size),
                   kWavefrontInf);
@@ -182,7 +181,7 @@ void dtw_distance_batch_vec(const double* const* ps, const double* const* qs,
     const double* pl = scratch.lanes_p.data();
 
     const std::size_t row = (m + 1) * kW;
-    const auto reset = [row](std::vector<double>& a) {
+    const auto reset = [row](ScratchVec& a) {
         if (a.size() < row) a.resize(row);
         std::fill(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(row),
                   kWavefrontInf);

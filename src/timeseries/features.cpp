@@ -77,4 +77,36 @@ std::vector<LagExample> make_lag_dataset(std::span<const double> xs,
     return out;
 }
 
+void make_lag_dataset_flat(std::span<const double> xs, int num_lags,
+                           int seasonal_period, la::FlatMatrix& features,
+                           std::vector<double>& targets) {
+    targets.clear();
+    if (num_lags <= 0) {
+        features.assign(0, 0, 0.0);
+        return;
+    }
+    const auto history =
+        static_cast<std::size_t>(std::max(num_lags, seasonal_period));
+    if (xs.size() <= history) {
+        features.assign(0, 0, 0.0);
+        return;
+    }
+    const std::size_t rows = xs.size() - history;
+    const std::size_t cols = static_cast<std::size_t>(num_lags) +
+                             (seasonal_period > 0 ? 1 : 0);
+    features.assign(rows, cols, 0.0);
+    targets.reserve(rows);
+    for (std::size_t t = history; t < xs.size(); ++t) {
+        const std::span<double> row = features[t - history];
+        std::size_t c = 0;
+        for (int k = num_lags; k >= 1; --k) {
+            row[c++] = xs[t - static_cast<std::size_t>(k)];
+        }
+        if (seasonal_period > 0) {
+            row[c] = xs[t - static_cast<std::size_t>(seasonal_period)];
+        }
+        targets.push_back(xs[t]);
+    }
+}
+
 }  // namespace atm::ts

@@ -3,6 +3,8 @@
 #include <span>
 #include <vector>
 
+#include "linalg/flat_matrix.hpp"
+
 namespace atm::ts {
 
 /// Min-max scaler mapping samples into [0, 1]; inverse-transform restores
@@ -65,5 +67,14 @@ struct LagExample {
 std::vector<LagExample> make_lag_dataset(std::span<const double> xs,
                                          int num_lags,
                                          int seasonal_period = 0);
+
+/// Flat-storage variant of make_lag_dataset for the MLP training hot
+/// path: example i becomes row i of `features` (one contiguous block,
+/// capacity reused across calls) and `targets[i]`. Row values and order
+/// are bit-identical to make_lag_dataset's `lags`; an input too short
+/// for the required history yields zero rows.
+void make_lag_dataset_flat(std::span<const double> xs, int num_lags,
+                           int seasonal_period, la::FlatMatrix& features,
+                           std::vector<double>& targets);
 
 }  // namespace atm::ts

@@ -1,0 +1,384 @@
+#include "tracegen/trace_binary.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "exec/fault.hpp"
+#include "exec/io.hpp"
+#include "obs/metrics.hpp"
+#include "tracegen/trace_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ATM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ATM_HAVE_MMAP 0
+#endif
+
+namespace atm::trace {
+namespace {
+
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 72;
+constexpr std::size_t kMagicBytes = 8;
+
+[[noreturn]] void fail(const std::string& message) {
+    throw core::PipelineError(core::PipelineErrorCode::kTraceInvalid, "trace",
+                              "binary trace: " + message);
+}
+
+/// FNV-1a folded 8 bytes at a time. Byte-wise FNV is the bottleneck at
+/// paper scale (~1.7 GB payload); word folding keeps the full-payload
+/// integrity sweep under half a second. Word loads are native-endian,
+/// which is fine: the endian tag already pins the file to this host
+/// order before the fingerprint is checked.
+std::uint64_t fingerprint_payload(const unsigned char* data,
+                                  std::size_t bytes) {
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t hash = 1469598103934665603ull;
+    std::size_t i = 0;
+    for (; i + 8 <= bytes; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, data + i, 8);
+        hash = (hash ^ word) * kPrime;
+    }
+    for (; i < bytes; ++i) {
+        hash = (hash ^ data[i]) * kPrime;
+    }
+    return hash;
+}
+
+void append_raw(std::string& out, const void* data, std::size_t bytes) {
+    out.append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void append_value(std::string& out, T value) {
+    append_raw(out, &value, sizeof(T));
+}
+
+template <typename T>
+void put_value(std::string& out, std::size_t offset, T value) {
+    std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+void append_name(std::string& out, const std::string& name,
+                 const char* what) {
+    if (name.size() > 0xFFFF) {
+        fail(std::string(what) + " name longer than 65535 bytes");
+    }
+    append_value(out, static_cast<std::uint16_t>(name.size()));
+    out.append(name);
+}
+
+/// Bounds-checked reader over the mapped bytes. Every overrun is a
+/// truncation (or a lying index) and fails with the field name.
+struct Cursor {
+    const unsigned char* data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    template <typename T>
+    T read(const char* what) {
+        if (sizeof(T) > size - pos) {
+            fail(std::string("truncated reading ") + what);
+        }
+        T value;
+        std::memcpy(&value, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return value;
+    }
+
+    std::string read_name(const char* what) {
+        const auto len = read<std::uint16_t>(what);
+        if (len > size - pos) {
+            fail(std::string("truncated reading ") + what);
+        }
+        std::string name(reinterpret_cast<const char*>(data + pos), len);
+        pos += len;
+        return name;
+    }
+};
+
+/// Read-only view of a whole file: mmap when available (the loader's
+/// normal mode — pages fault in as the index/payload are walked), plain
+/// buffered read otherwise. The view lives until destruction.
+struct MappedFile {
+    const unsigned char* data = nullptr;
+    std::size_t size = 0;
+
+    explicit MappedFile(const std::string& path) {
+#if ATM_HAVE_MMAP
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) fail("cannot open " + path);
+        struct stat st {};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            fail("cannot stat " + path);
+        }
+        size = static_cast<std::size_t>(st.st_size);
+        if (size > 0) {
+            void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (map != MAP_FAILED) {
+                map_ = map;
+                data = static_cast<const unsigned char*>(map);
+            }
+        }
+        ::close(fd);
+        if (data != nullptr || size == 0) return;
+#endif
+        std::ifstream in(path, std::ios::binary);
+        if (!in) fail("cannot open " + path);
+        buffer_.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+        data = reinterpret_cast<const unsigned char*>(buffer_.data());
+        size = buffer_.size();
+    }
+
+    MappedFile(const MappedFile&) = delete;
+    MappedFile& operator=(const MappedFile&) = delete;
+
+    ~MappedFile() {
+#if ATM_HAVE_MMAP
+        if (map_ != nullptr) ::munmap(map_, size);
+#endif
+    }
+
+  private:
+#if ATM_HAVE_MMAP
+    void* map_ = nullptr;
+#endif
+    std::string buffer_;
+};
+
+double checked_sample(double value, const std::string& series_name) {
+    if (!std::isfinite(value)) {
+        fail("non-finite sample in series " + series_name);
+    }
+    if (value < 0.0) {
+        fail("negative sample in series " + series_name);
+    }
+    return value;
+}
+
+}  // namespace
+
+bool is_trace_binary_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    char magic[kMagicBytes];
+    in.read(magic, kMagicBytes);
+    return in.gcount() == static_cast<std::streamsize>(kMagicBytes) &&
+           std::memcmp(magic, kTraceBinaryMagic, kMagicBytes) == 0;
+}
+
+void write_trace_binary_file(const std::string& path, const Trace& trace) {
+    std::string out;
+    // Header first, payload geometry patched in once the index is built.
+    out.append(kTraceBinaryMagic, kMagicBytes);
+    append_value(out, kEndianTag);
+    append_value(out, kVersion);
+    append_value(out, static_cast<std::uint32_t>(trace.windows_per_day));
+    append_value(out, static_cast<std::uint32_t>(trace.num_days));
+    append_value(out, static_cast<std::uint64_t>(trace.boxes.size()));
+    const std::size_t vm_count_at = out.size();
+    append_value(out, std::uint64_t{0});  // vm_count
+    const std::size_t sample_count_at = out.size();
+    append_value(out, std::uint64_t{0});  // sample_count
+    const std::size_t payload_offset_at = out.size();
+    append_value(out, std::uint64_t{0});  // payload_offset
+    const std::size_t payload_bytes_at = out.size();
+    append_value(out, std::uint64_t{0});  // payload_bytes
+    const std::size_t fingerprint_at = out.size();
+    append_value(out, std::uint64_t{0});  // payload fingerprint
+
+    std::uint64_t vms = 0;
+    std::uint64_t samples = 0;
+    for (const BoxTrace& box : trace.boxes) {
+        append_name(out, box.name, "box");
+        append_value(out, static_cast<std::uint8_t>(box.has_gaps ? 1 : 0));
+        append_value(out, box.cpu_capacity_ghz);
+        append_value(out, box.ram_capacity_gb);
+        append_value(out, static_cast<std::uint32_t>(box.vms.size()));
+        for (const VmTrace& vm : box.vms) {
+            const std::size_t len = vm.cpu_usage_pct.size();
+            if (vm.ram_usage_pct.size() != len ||
+                vm.cpu_demand_ghz.size() != len ||
+                vm.ram_demand_gb.size() != len) {
+                fail("series length mismatch in VM " + vm.name);
+            }
+            append_name(out, vm.name, "vm");
+            append_value(out, vm.cpu_capacity_ghz);
+            append_value(out, vm.ram_capacity_gb);
+            append_value(out, static_cast<std::uint64_t>(len));
+            ++vms;
+            samples += len;
+        }
+    }
+
+    // 8-align the payload so its doubles sit on natural boundaries in
+    // the mapping (mmap bases are page-aligned, so file offset
+    // alignment is mapping alignment).
+    while (out.size() % 8 != 0) out.push_back('\0');
+    const std::uint64_t payload_offset = out.size();
+    for (const BoxTrace& box : trace.boxes) {
+        for (const VmTrace& vm : box.vms) {
+            for (const ts::Series* series :
+                 {&vm.cpu_usage_pct, &vm.ram_usage_pct, &vm.cpu_demand_ghz,
+                  &vm.ram_demand_gb}) {
+                append_raw(out, series->values().data(),
+                           series->size() * sizeof(double));
+            }
+        }
+    }
+    const std::uint64_t payload_bytes = out.size() - payload_offset;
+
+    put_value(out, vm_count_at, vms);
+    put_value(out, sample_count_at, samples);
+    put_value(out, payload_offset_at, payload_offset);
+    put_value(out, payload_bytes_at, payload_bytes);
+    put_value(out, fingerprint_at,
+              fingerprint_payload(
+                  reinterpret_cast<const unsigned char*>(out.data()) +
+                      payload_offset,
+                  payload_bytes));
+
+    exec::write_file_atomic(path, out);
+}
+
+Trace read_trace_binary_file(const std::string& path,
+                             obs::MetricsRegistry* metrics,
+                             const exec::FaultPlan* faults) {
+    obs::ScopedTimer load_timer(metrics, "trace.load");
+    const MappedFile file(path);
+    if (file.size < kHeaderBytes) fail("truncated header in " + path);
+    if (std::memcmp(file.data, kTraceBinaryMagic, kMagicBytes) != 0) {
+        fail("bad magic in " + path);
+    }
+
+    Cursor cursor{file.data, file.size, kMagicBytes};
+    const auto endian = cursor.read<std::uint32_t>("endian tag");
+    if (endian != kEndianTag) {
+        fail(endian == 0x04030201u
+                 ? "wrong endianness (file written on a different-endian host)"
+                 : "bad endian tag");
+    }
+    const auto version = cursor.read<std::uint32_t>("version");
+    if (version != kVersion) {
+        fail("unsupported version " + std::to_string(version));
+    }
+    const auto windows_per_day = cursor.read<std::uint32_t>("windows_per_day");
+    const auto num_days = cursor.read<std::uint32_t>("num_days");
+    const auto box_count = cursor.read<std::uint64_t>("box_count");
+    const auto vm_count = cursor.read<std::uint64_t>("vm_count");
+    const auto sample_count = cursor.read<std::uint64_t>("sample_count");
+    const auto payload_offset = cursor.read<std::uint64_t>("payload_offset");
+    const auto payload_bytes = cursor.read<std::uint64_t>("payload_bytes");
+    const auto fingerprint = cursor.read<std::uint64_t>("payload fingerprint");
+
+    if (payload_offset < kHeaderBytes || payload_offset > file.size ||
+        payload_bytes > file.size - payload_offset) {
+        fail("truncated payload (index claims more bytes than the file has)");
+    }
+    if (payload_offset % 8 != 0) fail("misaligned payload offset");
+    if (payload_bytes != sample_count * 4 * sizeof(double)) {
+        fail("payload size disagrees with sample count");
+    }
+    if (fingerprint_payload(file.data + payload_offset, payload_bytes) !=
+        fingerprint) {
+        fail("payload fingerprint mismatch (corrupt or tampered file)");
+    }
+
+    Trace trace;
+    trace.windows_per_day = static_cast<int>(windows_per_day);
+    trace.num_days = static_cast<int>(num_days);
+    trace.boxes.reserve(box_count);
+
+    // The index Cursor must stay inside [header, payload): a corrupt
+    // index that wanders into the payload would otherwise "parse".
+    Cursor index{file.data, static_cast<std::size_t>(payload_offset),
+                 kHeaderBytes};
+    // Decode via memcpy, not a reinterpret_cast<const double*>: the
+    // read() fallback buffer carries no alignment guarantee.
+    const unsigned char* payload = file.data + payload_offset;
+    std::uint64_t samples_seen = 0;
+    std::uint64_t vms_seen = 0;
+
+    for (std::uint64_t b = 0; b < box_count; ++b) {
+        const exec::FaultContext fault{faults, trace.boxes.size()};
+        ATM_FAULT_SITE(fault, "trace.box");
+        trace.boxes.emplace_back();
+        BoxTrace& box = trace.boxes.back();
+        box.name = index.read_name("box name");
+        box.has_gaps = index.read<std::uint8_t>("has_gaps") != 0;
+        box.cpu_capacity_ghz = index.read<double>("box cpu capacity");
+        box.ram_capacity_gb = index.read<double>("box ram capacity");
+        const auto box_vms = index.read<std::uint32_t>("box vm count");
+        box.vms.reserve(box_vms);
+        for (std::uint32_t v = 0; v < box_vms; ++v) {
+            box.vms.emplace_back();
+            VmTrace& vm = box.vms.back();
+            vm.name = index.read_name("vm name");
+            vm.cpu_capacity_ghz = index.read<double>("vm cpu capacity");
+            vm.ram_capacity_gb = index.read<double>("vm ram capacity");
+            const auto len = index.read<std::uint64_t>("series length");
+            if (len > sample_count - samples_seen) {
+                fail("index series lengths exceed sample count");
+            }
+            const unsigned char* block =
+                payload + samples_seen * 4 * sizeof(double);
+            ts::Series* const series[4] = {&vm.cpu_usage_pct,
+                                           &vm.ram_usage_pct,
+                                           &vm.cpu_demand_ghz,
+                                           &vm.ram_demand_gb};
+            const char* const suffix[4] = {"/CPU", "/RAM", "/CPU-demand",
+                                           "/RAM-demand"};
+            for (int s = 0; s < 4; ++s) {
+                series[s]->set_name(vm.name + suffix[s]);
+                std::vector<double>& values = series[s]->values();
+                values.resize(len);
+                std::memcpy(values.data(), block, len * sizeof(double));
+                for (const double value : values) {
+                    checked_sample(value, series[s]->name());
+                }
+                block += len * sizeof(double);
+            }
+            samples_seen += len;
+            ++vms_seen;
+        }
+    }
+    if (samples_seen != sample_count) {
+        fail("index series lengths disagree with sample count");
+    }
+    if (vms_seen != vm_count) {
+        fail("index vm entries disagree with vm count");
+    }
+
+    if (metrics != nullptr) {
+        metrics->add("trace.rows", samples_seen);
+        metrics->add("trace.boxes", trace.boxes.size());
+        metrics->add("trace.vms", vms_seen);
+    }
+    return trace;
+}
+
+Trace read_trace_any_file(const std::string& path, int windows_per_day,
+                          obs::MetricsRegistry* metrics,
+                          const exec::FaultPlan* faults) {
+    if (is_trace_binary_file(path)) {
+        return read_trace_binary_file(path, metrics, faults);
+    }
+    return read_trace_csv_file(path, windows_per_day, metrics, faults);
+}
+
+}  // namespace atm::trace

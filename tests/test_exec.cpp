@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iterator>
 #include <numeric>
@@ -16,12 +17,15 @@
 
 #include "cluster/dtw.hpp"
 #include "core/fleet.hpp"
+#include "exec/arena.hpp"
 #include "exec/arg_parser.hpp"
 #include "exec/cancel.hpp"
 #include "exec/io.hpp"
 #include "exec/journal.hpp"
 #include "exec/seed.hpp"
+#include "exec/shard.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "tracegen/generator.hpp"
 
 namespace atm {
@@ -731,6 +735,193 @@ TEST(CancellationTokenTest, CheckpointToleratesNullToken) {
     EXPECT_NO_THROW(exec::checkpoint(&live, "anywhere"));
     live.cancel(exec::CancelReason::kStop);
     EXPECT_THROW(exec::checkpoint(&live, "anywhere"), exec::OperationCancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Arena (exec/arena.hpp): monotonic bump allocator behind the per-worker
+// pipeline workspaces.
+
+TEST(ArenaTest, AllocationsAreAlignedAndCounted) {
+    exec::Arena arena(/*slab_bytes=*/256);
+    for (const std::size_t align : {1ul, 8ul, 16ul, 64ul}) {
+        void* p = arena.allocate(24, align);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+            << "align " << align;
+    }
+    const exec::ArenaStats& stats = arena.stats();
+    EXPECT_EQ(stats.allocations, 4u);
+    EXPECT_GE(stats.bytes_allocated, 4 * 24u);
+    EXPECT_GE(stats.bytes_reserved, stats.high_water);
+    EXPECT_GE(stats.high_water, stats.bytes_allocated);
+    EXPECT_GE(stats.slabs, 1u);
+}
+
+TEST(ArenaTest, OversizedRequestGetsItsOwnSlab) {
+    exec::Arena arena(/*slab_bytes=*/128);
+    // Larger than a whole slab: the arena must grow, not fail.
+    void* big = arena.allocate(4096, 64);
+    ASSERT_NE(big, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 64, 0u);
+    std::memset(big, 0xAB, 4096);  // the whole block must be writable
+    EXPECT_GE(arena.stats().bytes_reserved, 4096u);
+}
+
+TEST(ArenaTest, ArenaVectorUsesTheArenaAndHeapFallsBack) {
+    exec::Arena arena;
+    exec::ArenaVector<double> vec{exec::ArenaAllocator<double>(&arena)};
+    vec.assign(100, 1.5);
+    EXPECT_EQ(vec[99], 1.5);
+    EXPECT_GE(arena.stats().bytes_allocated, 100 * sizeof(double));
+    // Default-constructed allocator (null arena) = plain heap: the type
+    // must remain usable as an ordinary vector.
+    exec::ArenaVector<double> heap_vec;
+    heap_vec.assign(10, 2.5);
+    EXPECT_EQ(heap_vec[9], 2.5);
+    // Allocators compare equal only when both point at the same arena.
+    EXPECT_TRUE(exec::ArenaAllocator<double>(&arena) ==
+                exec::ArenaAllocator<double>(&arena));
+    EXPECT_FALSE(exec::ArenaAllocator<double>(&arena) ==
+                 exec::ArenaAllocator<double>());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scheduler (exec/shard.hpp).
+
+TEST(ShardTest, ResolveShardSizeRules) {
+    // Explicit request wins, clamped to n.
+    EXPECT_EQ(exec::resolve_shard_size(100, 4, 10), 10u);
+    EXPECT_EQ(exec::resolve_shard_size(5, 4, 10), 5u);
+    // Auto: ~8 shards per worker, floor 1, cap 64.
+    EXPECT_EQ(exec::resolve_shard_size(8, 8, 0), 1u);
+    EXPECT_EQ(exec::resolve_shard_size(6400, 4, 0), 64u);
+    EXPECT_GE(exec::resolve_shard_size(1000, 2, 0), 1u);
+    // Degenerate n.
+    EXPECT_EQ(exec::resolve_shard_size(0, 4, 0), 1u);
+}
+
+TEST(ShardTest, SerialPathCoversEveryIndexInOrder) {
+    std::vector<std::size_t> seen;
+    exec::run_sharded(nullptr, 10, {}, [&](unsigned worker, std::size_t i) {
+        EXPECT_EQ(worker, 0u);
+        seen.push_back(i);
+    });
+    std::vector<std::size_t> want(10);
+    std::iota(want.begin(), want.end(), 0u);
+    EXPECT_EQ(seen, want);
+}
+
+TEST(ShardTest, PooledRunCoversEveryIndexExactlyOnceWithDenseWorkerIds) {
+    exec::ThreadPool pool(3);
+    exec::ShardOptions options;
+    options.workers = 4;
+    options.shard_size = 2;
+    constexpr std::size_t kN = 103;
+    std::vector<std::atomic<int>> hits(kN);
+    std::vector<std::atomic<int>> worker_used(4);
+    exec::run_sharded(&pool, kN, options, [&](unsigned worker, std::size_t i) {
+        ASSERT_LT(worker, 4u);
+        worker_used[worker].fetch_add(1);
+        hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+    // The caller is always worker 0 and participates.
+    EXPECT_GT(worker_used[0].load(), 0);
+}
+
+TEST(ShardTest, LowestIndexExceptionWins) {
+    exec::ThreadPool pool(3);
+    exec::ShardOptions options;
+    options.workers = 4;
+    options.shard_size = 1;
+    for (int repeat = 0; repeat < 20; ++repeat) {
+        try {
+            exec::run_sharded(&pool, 64, options,
+                              [&](unsigned, std::size_t i) {
+                                  if (i == 7 || i == 31 || i == 50) {
+                                      throw std::runtime_error(
+                                          "fail@" + std::to_string(i));
+                                  }
+                              });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "fail@7");
+        }
+    }
+}
+
+TEST(ShardTest, SharedPoolGrowsAndNeverShrinks) {
+    exec::ThreadPool& a = exec::shared_pool(2);
+    EXPECT_GE(a.size(), 2u);
+    exec::ThreadPool& b = exec::shared_pool(5);
+    EXPECT_EQ(&a, &b);  // one process-wide pool
+    EXPECT_GE(b.size(), 5u);
+    const unsigned grown = b.size();
+    exec::ThreadPool& c = exec::shared_pool(1);  // smaller request: no shrink
+    EXPECT_EQ(c.size(), grown);
+    // The grown pool still runs work.
+    std::atomic<int> ran{0};
+    exec::run_sharded(&c, 32, {}, [&](unsigned, std::size_t) { ran++; });
+    EXPECT_EQ(ran.load(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// 64-bit safety audit: counters and cell-count arithmetic that a
+// paper-scale fleet (6K boxes / 80K VMs / 10^10+ DTW cells) pushes past
+// the 32-bit line.
+
+TEST(SixtyFourBitTest, DtwCellCountSurvivesHugeSeries) {
+    // (2^17)^2 = 2^34 cells: silently truncated to 0 by 32-bit math.
+    constexpr std::size_t kLen = std::size_t{1} << 17;
+    EXPECT_EQ(cluster::dtw_cell_count(kLen, kLen, -1),
+              std::uint64_t{1} << 34);
+    // Banded count stays within u64 and is monotone in the band.
+    const std::uint64_t narrow = cluster::dtw_cell_count(kLen, kLen, 8);
+    const std::uint64_t wide = cluster::dtw_cell_count(kLen, kLen, 1024);
+    EXPECT_GT(narrow, 0u);
+    EXPECT_GT(wide, narrow);
+    EXPECT_LT(wide, std::uint64_t{1} << 34);
+}
+
+TEST(SixtyFourBitTest, FleetTotalsAreSixtyFourBitWide) {
+    static_assert(std::is_same_v<decltype(core::FleetPolicyTotals::cpu_before),
+                                 std::int64_t>);
+    static_assert(std::is_same_v<decltype(core::FleetPolicyTotals::ram_after),
+                                 std::int64_t>);
+    static_assert(
+        std::is_same_v<decltype(core::FleetExecStats::arena_high_water),
+                       std::uint64_t>);
+    // Summing per-box int tickets near INT_MAX must not wrap.
+    core::FleetPolicyTotals totals;
+    for (int i = 0; i < 4; ++i) {
+        totals.cpu_before += std::numeric_limits<int>::max();
+        totals.cpu_after += std::numeric_limits<int>::max() / 2;
+    }
+    EXPECT_EQ(totals.cpu_before, 4 * std::int64_t{2147483647});
+    EXPECT_GT(totals.cpu_before, totals.cpu_after);
+    EXPECT_NEAR(totals.cpu_reduction_pct(), 50.0, 0.1);
+}
+
+TEST(SixtyFourBitTest, MetricsCountersAccumulatePastTwoToTheThirtyTwo) {
+    obs::MetricsRegistry registry;
+    // 5 x 2^30 > 2^32: a u32 counter would wrap to 2^30.
+    for (int i = 0; i < 5; ++i) {
+        registry.add("audit.samples", std::uint64_t{1} << 30);
+    }
+    EXPECT_EQ(registry.snapshot().counter("audit.samples"),
+              std::uint64_t{5} << 30);
+}
+
+TEST(SixtyFourBitTest, ArenaStatsAreSixtyFourBitWide) {
+    static_assert(
+        std::is_same_v<decltype(exec::ArenaStats::bytes_allocated),
+                       std::uint64_t>);
+    static_assert(std::is_same_v<decltype(exec::ArenaStats::high_water),
+                                 std::uint64_t>);
+    static_assert(std::is_same_v<decltype(exec::ArenaStats::allocations),
+                                 std::uint64_t>);
 }
 
 }  // namespace

@@ -197,7 +197,9 @@ TEST(MlpNetworkTest, Validation) {
     MlpNetwork net({2, 1}, Activation::kTanh, 1);
     const std::vector<double> short_input{1.0};
     EXPECT_THROW(static_cast<void>(net.predict(short_input)), std::invalid_argument);
-    EXPECT_THROW(net.train({}, std::vector<double>{}, {}), std::invalid_argument);
+    EXPECT_THROW(net.train(std::vector<std::vector<double>>{},
+                           std::vector<double>{}, {}),
+                 std::invalid_argument);
 }
 
 class ActivationTest : public ::testing::TestWithParam<Activation> {};

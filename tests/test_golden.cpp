@@ -82,7 +82,10 @@ core::FleetConfig golden_config() {
     return config;
 }
 
-json::Value policy_to_json(const core::PolicyTickets& p) {
+// Works for both per-box core::PolicyTickets (int) and the fleet's
+// core::FleetPolicyTotals (int64) — the serialized JSON is identical.
+template <typename PolicyLike>
+json::Value policy_to_json(const PolicyLike& p) {
     json::Value entry = json::Value::make_object();
     entry.set("policy", json::Value::of(resize::to_string(p.policy)));
     entry.set("cpu_before", json::Value::of(std::int64_t{p.cpu_before}));
@@ -108,7 +111,7 @@ json::Value golden_view(const core::FleetResult& fleet) {
     summary.set("mean_ape_all", json::Value::of(fleet.mean_ape_all));
     summary.set("mean_ape_peak", json::Value::of(fleet.mean_ape_peak));
     json::Value totals = json::Value::make_array();
-    for (const core::PolicyTickets& p : fleet.totals) {
+    for (const core::FleetPolicyTotals& p : fleet.totals) {
         totals.array.push_back(policy_to_json(p));
     }
     summary.set("totals", std::move(totals));

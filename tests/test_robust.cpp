@@ -229,7 +229,7 @@ TEST(ChaosFleetTest, HeavyCorruptionRejectsEveryBox) {
     EXPECT_EQ(fleet.metrics.counter("robust.error.trace-invalid"), 4u);
     // Failed boxes contribute nothing to the aggregates.
     EXPECT_EQ(fleet.mean_ape_all, 0.0);
-    for (const core::PolicyTickets& p : fleet.totals) {
+    for (const core::FleetPolicyTotals& p : fleet.totals) {
         EXPECT_EQ(p.cpu_before, 0);
         EXPECT_EQ(p.cpu_after, 0);
         EXPECT_EQ(p.ram_before, 0);
@@ -263,7 +263,7 @@ TEST(ChaosFleetTest, TruncationExcludesFailedBoxesFromAggregatesExactly) {
     ASSERT_EQ(fleet.boxes.size(), 8u);
     EXPECT_EQ(fleet.boxes_failed, truncated.size());
     double ape_sum = 0.0;
-    std::vector<core::PolicyTickets> totals(fleet.totals.size());
+    std::vector<core::FleetPolicyTotals> totals(fleet.totals.size());
     for (std::size_t i = 0; i < fleet.boxes.size(); ++i) {
         const core::FleetBoxResult& b = fleet.boxes[i];
         if (truncated.count(b.box_index) != 0) {

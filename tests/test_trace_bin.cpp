@@ -1,0 +1,273 @@
+// Binary trace format (atm.trace.bin.v1, src/tracegen/trace_binary.hpp):
+// pack -> mmap-load -> unpack round trips bit-identically against the
+// CSV loader, and malformed files (truncation, bad magic, wrong
+// endianness, corrupted payload) are rejected with the structured
+// PipelineError taxonomy instead of producing garbage traces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/errors.hpp"
+#include "exec/fault.hpp"
+#include "obs/metrics.hpp"
+#include "tracegen/generator.hpp"
+#include "tracegen/trace_binary.hpp"
+#include "tracegen/trace_io.hpp"
+
+namespace atm::trace {
+namespace {
+
+Trace small_trace() {
+    TraceGenOptions options;
+    options.num_boxes = 4;
+    options.num_days = 2;
+    options.gappy_box_fraction = 0.25;
+    options.seed = 11;
+    return generate_trace(options);
+}
+
+std::string temp_path(const std::string& name) {
+    return testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Bitwise equality of two loaded traces — the binary loader's contract
+/// is *exact* sample reproduction, so EXPECT_NEAR would be too weak.
+void expect_bit_identical(const Trace& a, const Trace& b) {
+    EXPECT_EQ(a.windows_per_day, b.windows_per_day);
+    ASSERT_EQ(a.boxes.size(), b.boxes.size());
+    for (std::size_t i = 0; i < a.boxes.size(); ++i) {
+        const BoxTrace& x = a.boxes[i];
+        const BoxTrace& y = b.boxes[i];
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_EQ(x.has_gaps, y.has_gaps);
+        EXPECT_EQ(x.cpu_capacity_ghz, y.cpu_capacity_ghz);
+        EXPECT_EQ(x.ram_capacity_gb, y.ram_capacity_gb);
+        ASSERT_EQ(x.vms.size(), y.vms.size());
+        for (std::size_t v = 0; v < x.vms.size(); ++v) {
+            EXPECT_EQ(x.vms[v].name, y.vms[v].name);
+            EXPECT_EQ(x.vms[v].cpu_capacity_ghz, y.vms[v].cpu_capacity_ghz);
+            EXPECT_EQ(x.vms[v].ram_capacity_gb, y.vms[v].ram_capacity_gb);
+            for (const auto& [xs, ys] :
+                 {std::pair{&x.vms[v].cpu_usage_pct, &y.vms[v].cpu_usage_pct},
+                  std::pair{&x.vms[v].ram_usage_pct, &y.vms[v].ram_usage_pct},
+                  std::pair{&x.vms[v].cpu_demand_ghz, &y.vms[v].cpu_demand_ghz},
+                  std::pair{&x.vms[v].ram_demand_gb, &y.vms[v].ram_demand_gb}}) {
+                EXPECT_EQ(xs->name(), ys->name());
+                ASSERT_EQ(xs->size(), ys->size());
+                for (std::size_t t = 0; t < xs->size(); ++t) {
+                    // operator== on doubles: bit-identity for finite
+                    // non-zero values, which generated traces are.
+                    EXPECT_EQ((*xs)[t], (*ys)[t]) << "sample " << t;
+                }
+            }
+        }
+    }
+}
+
+TEST(TraceBinaryTest, PackLoadRoundTripIsBitIdentical) {
+    const Trace original = small_trace();
+    const std::string path = temp_path("atm_trace_roundtrip.bin");
+    write_trace_binary_file(path, original);
+    const Trace loaded = read_trace_binary_file(path);
+    expect_bit_identical(original, loaded);
+}
+
+TEST(TraceBinaryTest, BinaryLoadMatchesCsvLoadBitForBit) {
+    // The full pack/unpack pipeline: the binary loader must reproduce
+    // exactly what the CSV round trip reproduces, so a packed trace is a
+    // drop-in replacement for its CSV source.
+    const Trace original = small_trace();
+    const std::string csv_path = temp_path("atm_trace_equiv.csv");
+    const std::string bin_path = temp_path("atm_trace_equiv.bin");
+    write_trace_csv_file(csv_path.c_str(), original);
+    const Trace from_csv =
+        read_trace_csv_file(csv_path.c_str(), original.windows_per_day);
+    write_trace_binary_file(bin_path, from_csv);
+    const Trace from_bin = read_trace_binary_file(bin_path);
+    expect_bit_identical(from_csv, from_bin);
+}
+
+TEST(TraceBinaryTest, UnpackReproducesTheSourceCsvByteForByte) {
+    const Trace original = small_trace();
+    const std::string csv_a = temp_path("atm_trace_unpack_a.csv");
+    const std::string bin = temp_path("atm_trace_unpack.bin");
+    const std::string csv_b = temp_path("atm_trace_unpack_b.csv");
+    write_trace_csv_file(csv_a.c_str(), original);
+    // CSV -> binary -> CSV: the final CSV must equal the first byte for
+    // byte (doubles are serialized at full round-trip precision).
+    const Trace loaded =
+        read_trace_csv_file(csv_a.c_str(), original.windows_per_day);
+    write_trace_binary_file(bin, loaded);
+    write_trace_csv_file(csv_b.c_str(), read_trace_binary_file(bin));
+    EXPECT_EQ(slurp(csv_a), slurp(csv_b));
+}
+
+TEST(TraceBinaryTest, SniffingLoaderAcceptsBothFormats) {
+    const Trace original = small_trace();
+    const std::string csv_path = temp_path("atm_trace_sniff.csv");
+    const std::string bin_path = temp_path("atm_trace_sniff.bin");
+    write_trace_csv_file(csv_path.c_str(), original);
+    // Pack from the CSV-loaded trace: CSV text serialization may round
+    // at the ULP level, and the bit-identity contract is between the
+    // two *loaders*, not across the lossy text encoding.
+    const Trace via_csv =
+        read_trace_any_file(csv_path, original.windows_per_day);
+    write_trace_binary_file(bin_path, via_csv);
+    EXPECT_FALSE(is_trace_binary_file(csv_path));
+    EXPECT_TRUE(is_trace_binary_file(bin_path));
+    const Trace via_bin =
+        read_trace_any_file(bin_path, original.windows_per_day);
+    expect_bit_identical(via_csv, via_bin);
+}
+
+TEST(TraceBinaryTest, LoaderRecordsTheCsvReadersCounters) {
+    const Trace original = small_trace();
+    const std::string path = temp_path("atm_trace_counters.bin");
+    write_trace_binary_file(path, original);
+    obs::MetricsRegistry metrics;
+    const Trace loaded = read_trace_binary_file(path, &metrics);
+    const obs::MetricsSnapshot snap = metrics.snapshot();
+    EXPECT_EQ(snap.counter("trace.boxes"), loaded.boxes.size());
+    EXPECT_EQ(snap.counter("trace.vms"), loaded.total_vms());
+    std::uint64_t samples = 0;
+    for (const BoxTrace& box : loaded.boxes) {
+        for (const VmTrace& vm : box.vms) samples += vm.cpu_usage_pct.size();
+    }
+    EXPECT_EQ(snap.counter("trace.rows"), samples);
+    EXPECT_EQ(snap.timers.count("trace.load"), 1u);
+}
+
+/// Expects read_trace_binary_file(path) to throw PipelineError with
+/// kTraceInvalid and a message containing `needle`.
+void expect_invalid(const std::string& path, const std::string& needle) {
+    try {
+        (void)read_trace_binary_file(path);
+        FAIL() << "expected PipelineError for " << needle;
+    } catch (const core::PipelineError& e) {
+        EXPECT_EQ(e.code(), core::PipelineErrorCode::kTraceInvalid);
+        EXPECT_EQ(e.stage(), std::string("trace"));
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message was: " << e.what();
+    }
+}
+
+TEST(TraceBinaryTest, RejectsTruncatedFiles) {
+    const std::string path = temp_path("atm_trace_truncated.bin");
+    write_trace_binary_file(path, small_trace());
+    const std::string whole = slurp(path);
+    // Header cut short.
+    spit(path, whole.substr(0, 40));
+    expect_invalid(path, "header");
+    // Payload cut short.
+    spit(path, whole.substr(0, whole.size() - 16));
+    expect_invalid(path, "truncated");
+}
+
+TEST(TraceBinaryTest, RejectsBadMagic) {
+    const std::string path = temp_path("atm_trace_badmagic.bin");
+    write_trace_binary_file(path, small_trace());
+    std::string bytes = slurp(path);
+    bytes[0] = 'X';
+    spit(path, bytes);
+    expect_invalid(path, "magic");
+}
+
+TEST(TraceBinaryTest, RejectsWrongEndianness) {
+    const std::string path = temp_path("atm_trace_endian.bin");
+    write_trace_binary_file(path, small_trace());
+    std::string bytes = slurp(path);
+    // Byte-swap the endianness tag at offset 8: exactly what the file
+    // would look like written on an opposite-endian machine.
+    std::swap(bytes[8], bytes[11]);
+    std::swap(bytes[9], bytes[10]);
+    spit(path, bytes);
+    expect_invalid(path, "endian");
+}
+
+TEST(TraceBinaryTest, RejectsUnknownVersion) {
+    const std::string path = temp_path("atm_trace_version.bin");
+    write_trace_binary_file(path, small_trace());
+    std::string bytes = slurp(path);
+    const std::uint32_t version = 99;
+    std::memcpy(&bytes[12], &version, sizeof(version));
+    spit(path, bytes);
+    expect_invalid(path, "version");
+}
+
+TEST(TraceBinaryTest, RejectsCorruptedPayload) {
+    const std::string path = temp_path("atm_trace_corrupt.bin");
+    write_trace_binary_file(path, small_trace());
+    std::string bytes = slurp(path);
+    // Flip one bit in the last payload byte: the fingerprint must catch
+    // it before any sample reaches a pipeline.
+    bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x40);
+    spit(path, bytes);
+    expect_invalid(path, "fingerprint");
+}
+
+TEST(TraceBinaryTest, RejectsNonFiniteSamples) {
+    // A payload that fingerprints correctly but carries a NaN (e.g. a
+    // buggy producer): per-sample validation still rejects it, same as
+    // the CSV reader.
+    Trace bad = small_trace();
+    bad.boxes[0].vms[0].cpu_usage_pct.values()[3] =
+        std::numeric_limits<double>::quiet_NaN();
+    const std::string path = temp_path("atm_trace_nan.bin");
+    write_trace_binary_file(path, bad);
+    expect_invalid(path, "sample");
+}
+
+TEST(TraceBinaryTest, MissingFileThrowsPipelineError) {
+    expect_invalid(temp_path("atm_trace_does_not_exist.bin"), "open");
+}
+
+TEST(TraceBinaryTest, FaultInjectionArmsPerBoxSite) {
+    // The loader exposes the same "trace.box" chaos site as the CSV
+    // reader, keyed by box position, so fault plans behave identically
+    // on both formats.
+    const Trace original = small_trace();
+    const std::string path = temp_path("atm_trace_fault.bin");
+    write_trace_binary_file(path, original);
+    const exec::FaultPlan plan = exec::FaultPlan::parse("trace.box=throw@1", 3);
+    EXPECT_THROW(
+        { (void)read_trace_binary_file(path, nullptr, &plan); },
+        exec::InjectedFault);
+    // A null plan is inert.
+    EXPECT_NO_THROW({ (void)read_trace_binary_file(path, nullptr, nullptr); });
+}
+
+TEST(TraceBinaryTest, HeaderMetadataWinsOverCallerWindowsPerDay) {
+    // read_trace_any_file's windows_per_day parameter is for CSV files
+    // only; a binary file carries its own.
+    TraceGenOptions options;
+    options.num_boxes = 1;
+    options.num_days = 1;
+    options.windows_per_day = 48;
+    options.seed = 7;
+    const Trace original = generate_trace(options);
+    const std::string path = temp_path("atm_trace_wpd.bin");
+    write_trace_binary_file(path, original);
+    const Trace loaded = read_trace_any_file(path, /*windows_per_day=*/96);
+    EXPECT_EQ(loaded.windows_per_day, 48);
+}
+
+}  // namespace
+}  // namespace atm::trace

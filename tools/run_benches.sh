@@ -13,6 +13,12 @@
 #                       google-benchmark also accepts suffixed forms
 #                       like 0.01s)
 #   ATM_BOXES / ATM_MAX_JOBS / ATM_SEED  fleet-scaling scale knobs
+#   ATM_PAPER_SCALE=1   also time the paper-scale fleet (6000 boxes /
+#                       ~80K VMs / 7 days, jobs 1 and 8) and record the
+#                       rows under "paper" in BENCH_fleet.json — minutes
+#                       of work, so off by default
+#   ATM_PAPER_BOXES     paper-scale box count override
+#   ATM_BENCH_MIN_SPEEDUP  override the scaling-assertion floor (0 = off)
 set -eu
 
 BUILD_DIR="${1:-build}"
