@@ -10,6 +10,10 @@ they are stripped before comparing:
   * the top-level `scheduler` section (worker/shard geometry and arena
     counters — execution shape, which legitimately differs across jobs)
   * every `timers` object inside a metrics snapshot (fleet and per-box)
+  * the top-level `transport` section of atm.serve-metrics.v1 reports
+    (connection/rejection counts and queue high-water marks depend on
+    client scheduling; the serve-chaos job compares the `engine` section,
+    which is deterministic by contract)
 
 Everything else — counters (including robust.retry.*), gauges, the
 predict.ape histogram, per-box errors, and box ordering — must be equal.
@@ -26,7 +30,8 @@ def strip_volatile(doc):
         return {
             key: strip_volatile(value)
             for key, value in doc.items()
-            if key not in ("jobs", "wall_seconds", "timers", "scheduler")
+            if key not in ("jobs", "wall_seconds", "timers", "scheduler",
+                           "transport")
         }
     if isinstance(doc, list):
         return [strip_volatile(item) for item in doc]

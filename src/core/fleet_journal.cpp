@@ -90,10 +90,8 @@ std::uint64_t trace_fingerprint(const trace::Trace& trace) {
     return hash;
 }
 
-std::uint64_t fleet_config_digest(const FleetConfig& config) {
+std::uint64_t pipeline_config_digest(const PipelineConfig& p) {
     std::uint64_t hash = exec::kFnv1a64Offset;
-    const PipelineConfig& p = config.pipeline;
-    // Pipeline knobs.
     mix_u64(hash, static_cast<std::uint64_t>(p.search.method));
     mix_double(hash, p.search.rho_threshold);
     mix_double(hash, p.search.vif_threshold);
@@ -109,6 +107,12 @@ std::uint64_t fleet_config_digest(const FleetConfig& config) {
     mix_u64(hash, static_cast<std::uint64_t>(p.scope));
     mix_u64(hash, p.seed);
     mix_double(hash, p.max_bad_sample_fraction);
+    return hash;
+}
+
+std::uint64_t fleet_config_digest(const FleetConfig& config) {
+    std::uint64_t hash = exec::kFnv1a64Offset;
+    mix_u64(hash, pipeline_config_digest(config.pipeline));
     // Fleet selection / evaluation knobs.
     mix_u64(hash, config.skip_gappy_boxes ? 1 : 0);
     mix_u64(hash, config.box_names.size());
@@ -259,6 +263,54 @@ FleetBoxResult decode_box_record(const std::string& payload) {
     }
     r.metrics = obs::json::snapshot_from_json(result.at("metrics"));
     return box;
+}
+
+namespace {
+
+Value double_array(const std::vector<double>& values) {
+    Value array = Value::make_array();
+    for (const double v : values) array.array.push_back(Value::of(v));
+    return array;
+}
+
+std::vector<double> double_array_from(const Value& value) {
+    std::vector<double> values;
+    values.reserve(value.array.size());
+    for (const Value& v : value.array) values.push_back(v.as_double());
+    return values;
+}
+
+}  // namespace
+
+std::string encode_epoch_record(const ServeEpochRecord& record) {
+    Value out = Value::make_object();
+    out.set("box", Value::of(static_cast<std::int64_t>(record.box_index)));
+    out.set("epoch", Value::of(static_cast<std::uint64_t>(record.epoch)));
+    out.set("ladder", Value::of(static_cast<std::int64_t>(record.ladder)));
+    out.set("searched", Value::of(record.searched));
+    out.set("retrained",
+            Value::of(static_cast<std::int64_t>(record.retrained)));
+    out.set("attempts", Value::of(static_cast<std::int64_t>(record.attempts)));
+    out.set("cpu", double_array(record.cpu));
+    out.set("ram", double_array(record.ram));
+    return obs::json::serialize(out, 0);
+}
+
+ServeEpochRecord decode_epoch_record(const std::string& payload) {
+    const Value in = obs::json::parse(payload);
+    ServeEpochRecord record;
+    record.box_index = static_cast<int>(in.at("box").as_int());
+    record.epoch = static_cast<std::uint64_t>(in.at("epoch").as_int());
+    record.ladder = static_cast<int>(in.at("ladder").as_int());
+    if (record.ladder < 0 || record.ladder > 15) {
+        throw std::runtime_error("serve journal: ladder mask out of range");
+    }
+    record.searched = in.at("searched").as_bool();
+    record.retrained = static_cast<int>(in.at("retrained").as_int());
+    record.attempts = static_cast<int>(in.at("attempts").as_int());
+    record.cpu = double_array_from(in.at("cpu"));
+    record.ram = double_array_from(in.at("ram"));
+    return record;
 }
 
 }  // namespace atm::core

@@ -12,11 +12,21 @@ namespace atm::core {
 /// journal then starts fresh instead of mis-decoding.
 inline constexpr const char* kFleetJournalSchema = "atm.fleet-journal.v1";
 
+/// Schema tag of the serve daemon's epoch journal. Same framing as the
+/// fleet journal (exec::JournalWriter), but each record is one applied
+/// streaming window rather than one finished box.
+inline constexpr const char* kServeJournalSchema = "atm.serve-journal.v1";
+
 /// Digest of everything about the *input data* that affects per-box
 /// results: windows_per_day, per-box names/gap flags/VM counts and the
 /// exact bit patterns of every sample. Two traces with the same
 /// fingerprint produce the same fleet results for a given config.
 [[nodiscard]] std::uint64_t trace_fingerprint(const trace::Trace& trace);
+
+/// Digest of every PipelineConfig field that affects per-box results.
+/// Shared by the fleet digest below and the serve daemon's journal
+/// header (which binds serve knobs separately).
+[[nodiscard]] std::uint64_t pipeline_config_digest(const PipelineConfig& config);
 
 /// Digest of every FleetConfig field that affects per-box *results*.
 /// Execution-only knobs are deliberately excluded so a journal stays
@@ -47,5 +57,37 @@ inline constexpr const char* kFleetJournalSchema = "atm.fleet-journal.v1";
 /// record that fails to decode like checksum corruption — the journal is
 /// truncated to the records before it.
 [[nodiscard]] FleetBoxResult decode_box_record(const std::string& payload);
+
+/// One applied streaming window in the serve journal. The record captures
+/// the *control decisions* the daemon took (shed-load rung, whether search
+/// or a retrain ran, how many apply attempts it cost) plus the emitted
+/// recommendation. Warm restart replays incoming windows below a box's
+/// recorded next epoch with these decisions *forced*, so the rebuilt
+/// state, counters, and recommendations are bit-identical to the
+/// uninterrupted run even when the original decisions were driven by
+/// wall-clock SLO deadlines that would not reproduce.
+struct ServeEpochRecord {
+    int box_index = 0;
+    std::uint64_t epoch = 0;
+    /// Shed-load ladder, encoded as a bitmask because the rungs are not
+    /// strictly nested (a window can compute a fresh forecast and still
+    /// shed the resize step): 0 full work, bit 1 = model refresh skipped
+    /// (search or retrain), bit 2 = last forecast reused, bit 4 = max-min
+    /// fallback resize, bit 8 = ingest only (retries exhausted, or no
+    /// model and nothing to shed to).
+    int ladder = 0;
+    bool searched = false;  ///< signature search (re-)ran this window
+    int retrained = 0;      ///< 0 none, 1 warm retrain, 2 cold refit
+    int attempts = 1;       ///< apply attempts (retries = attempts - 1)
+    std::vector<double> cpu;  ///< per-VM recommended CPU allocation (GHz)
+    std::vector<double> ram;  ///< per-VM recommended RAM allocation (GB)
+};
+
+/// Encode/decode one ServeEpochRecord as a compact single-line JSON
+/// payload (doubles at full precision, same contract as box records).
+/// decode throws on malformed payloads; the serve driver treats that like
+/// checksum corruption and truncates the journal before the bad record.
+[[nodiscard]] std::string encode_epoch_record(const ServeEpochRecord& record);
+[[nodiscard]] ServeEpochRecord decode_epoch_record(const std::string& payload);
 
 }  // namespace atm::core

@@ -140,8 +140,10 @@ void FaultContext::check_site(const char* site) const {
         if (rule.action != FaultAction::kThrow || rule.site != name) continue;
         std::uint64_t key =
             derive_seed(derive_seed(plan->seed, entity), hash_site(name));
-        // Retries re-roll: attempt 0 keeps the historical key chain so
-        // existing plans (and the golden chaos runs) are unchanged.
+        // Epoch 0 / attempt 0 keep the historical key chain so existing
+        // plans (and the golden chaos runs) are unchanged; each streaming
+        // window and each retry re-rolls independently.
+        if (epoch != 0) key = derive_seed(key, epoch);
         if (attempt != 0) key = derive_seed(key, attempt);
         if (uniform01(key) < rule.rate) throw InjectedFault(name);
     }
@@ -161,6 +163,7 @@ std::uint64_t FaultContext::corrupt_samples(std::span<double> xs,
         std::uint64_t base = derive_seed(
             derive_seed(plan->seed, entity),
             derive_seed(stream, rule_index + hash_site(rule.site)));
+        if (epoch != 0) base = derive_seed(base, epoch);
         if (attempt != 0) base = derive_seed(base, attempt);
         for (std::size_t t = 0; t < xs.size(); ++t) {
             if (uniform01(derive_seed(base, t)) >= rule.rate) continue;
@@ -201,6 +204,7 @@ std::size_t FaultContext::truncated_length(std::size_t length) const {
         }
         std::uint64_t key =
             derive_seed(derive_seed(plan->seed, entity), kTruncateStream);
+        if (epoch != 0) key = derive_seed(key, epoch);
         if (attempt != 0) key = derive_seed(key, attempt);
         if (uniform01(key) < rule.rate) return length - length / 4;
     }

@@ -85,6 +85,12 @@ struct FaultContext {
     /// draws, letting `max_retries` recover boxes whose per-attempt
     /// Bernoullis clear. Deterministic in (seed, entity, attempt, site).
     std::uint64_t attempt = 0;
+    /// Streaming window number for daemon sites ("serve.ingest",
+    /// "serve.apply"). Mixed into draw keys only when non-zero — batch
+    /// contexts (which never set it) keep their historical key chains —
+    /// so each (seed, epoch, box) gets an independent Bernoulli and a
+    /// chaos plan fires on different windows for different boxes.
+    std::uint64_t epoch = 0;
 
     /// Throws InjectedFault if a kThrow rule for `site` fires for this
     /// entity. Deterministic in (plan->seed, entity, site).

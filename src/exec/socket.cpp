@@ -1,0 +1,228 @@
+#include "exec/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace atm::exec {
+
+namespace {
+
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Fills a sockaddr_un for `path`, rejecting paths that do not fit.
+sockaddr_un make_addr(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path '" + path +
+                                 "' is empty or too long for sockaddr_un");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+/// Polls `fd` for `events`; returns false on timeout. EINTR retries so a
+/// handled signal (SIGTERM drain) does not surface as a socket error.
+bool poll_one(int fd, short events, int timeout_ms) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0) return true;
+        if (rc == 0) return false;
+        if (errno != EINTR) throw_errno("poll");
+    }
+}
+
+}  // namespace
+
+UnixSocket::UnixSocket(UnixSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+UnixSocket& UnixSocket::operator=(UnixSocket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+UnixSocket::~UnixSocket() { close(); }
+
+void UnixSocket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+std::optional<std::string> UnixSocket::read_line(int timeout_ms, bool* eof) {
+    if (eof != nullptr) *eof = false;
+    if (fd_ < 0) {
+        if (eof != nullptr) *eof = true;
+        return std::nullopt;
+    }
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            return line;
+        }
+        if (buffer_.size() > kMaxLineBytes) {
+            throw std::runtime_error("socket line exceeds " +
+                                     std::to_string(kMaxLineBytes) + " bytes");
+        }
+        if (!poll_one(fd_, POLLIN, timeout_ms)) return std::nullopt;
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            if (eof != nullptr) *eof = true;
+            return std::nullopt;
+        }
+        if (errno == EINTR) continue;
+        throw_errno("recv");
+    }
+}
+
+bool UnixSocket::write_line(const std::string& line) {
+    if (fd_ < 0) return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n >= 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EPIPE || errno == ECONNRESET) return false;
+        throw_errno("send");
+    }
+    return true;
+}
+
+UnixListener::UnixListener(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+    other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        path_ = std::move(other.path_);
+        other.path_.clear();
+    }
+    return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        ::unlink(path_.c_str());
+    }
+    path_.clear();
+}
+
+UnixListener UnixListener::bind(const std::string& path) {
+    const sockaddr_un addr = make_addr(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    // A SIGKILL'd daemon leaves its socket file behind; a fresh bind must
+    // not fail on that stale inode.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("bind '" + path + "'");
+    }
+    if (::listen(fd, 64) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(path.c_str());
+        errno = saved;
+        throw_errno("listen '" + path + "'");
+    }
+    return UnixListener(fd, path);
+}
+
+UnixSocket UnixListener::accept(int timeout_ms) {
+    if (fd_ < 0) return UnixSocket{};
+    if (!poll_one(fd_, POLLIN, timeout_ms)) return UnixSocket{};
+    for (;;) {
+        const int conn = ::accept(fd_, nullptr, nullptr);
+        if (conn >= 0) return UnixSocket(conn);
+        if (errno == EINTR) continue;
+        // The peer can vanish between poll and accept; treat it like a
+        // timeout and let the caller poll again.
+        if (errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK) {
+            return UnixSocket{};
+        }
+        throw_errno("accept");
+    }
+}
+
+UnixSocket unix_connect(const std::string& path, int timeout_ms) {
+    const sockaddr_un addr = make_addr(path);
+    // A not-yet-listening daemon shows up as ENOENT (no socket file) or
+    // ECONNREFUSED (stale file); retry those until the deadline so tests
+    // and `atm play` can start the client before the daemon is ready.
+    constexpr int kRetrySleepMs = 20;
+    int waited_ms = 0;
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) throw_errno("socket");
+        for (;;) {
+            if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0) {
+                return UnixSocket(fd);
+            }
+            if (errno == EINTR) continue;
+            break;
+        }
+        const int saved = errno;
+        ::close(fd);
+        const bool retryable = saved == ENOENT || saved == ECONNREFUSED;
+        if (!retryable || waited_ms >= timeout_ms) {
+            errno = saved;
+            throw_errno("connect '" + path + "'");
+        }
+        timespec sleep_for{0, kRetrySleepMs * 1000000};
+        ::nanosleep(&sleep_for, nullptr);
+        waited_ms += kRetrySleepMs;
+    }
+}
+
+}  // namespace atm::exec

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace atm::exec {
+
+/// One accepted (or connected) Unix-domain stream socket with buffered,
+/// poll-timed line IO. The daemon protocol is newline-delimited JSON, so
+/// lines are the only read granularity exposed. Movable, not copyable;
+/// the destructor closes the fd.
+class UnixSocket {
+  public:
+    UnixSocket() = default;
+    explicit UnixSocket(int fd) : fd_(fd) {}
+    UnixSocket(UnixSocket&& other) noexcept;
+    UnixSocket& operator=(UnixSocket&& other) noexcept;
+    UnixSocket(const UnixSocket&) = delete;
+    UnixSocket& operator=(const UnixSocket&) = delete;
+    ~UnixSocket();
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] int fd() const { return fd_; }
+
+    /// Reads up to the next '\n' (stripped from the result, along with a
+    /// preceding '\r'). Blocks at most `timeout_ms` per poll round while
+    /// no bytes arrive; returns nullopt on timeout or orderly peer close
+    /// (`*eof` distinguishes the two when non-null). Throws
+    /// std::runtime_error on socket errors. A line longer than 1 MiB is
+    /// treated as a protocol error and throws.
+    std::optional<std::string> read_line(int timeout_ms, bool* eof = nullptr);
+
+    /// Writes `line` plus a trailing '\n', retrying short writes. Returns
+    /// false when the peer has closed (EPIPE/ECONNRESET — SIGPIPE is
+    /// suppressed via MSG_NOSIGNAL); throws std::runtime_error on other
+    /// socket errors.
+    bool write_line(const std::string& line);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// A bound, listening Unix-domain socket. Binding unlinks any stale file
+/// at `path` first (daemon restart after SIGKILL leaves one behind); the
+/// destructor closes the fd and unlinks the path.
+class UnixListener {
+  public:
+    UnixListener() = default;
+    UnixListener(UnixListener&& other) noexcept;
+    UnixListener& operator=(UnixListener&& other) noexcept;
+    UnixListener(const UnixListener&) = delete;
+    UnixListener& operator=(const UnixListener&) = delete;
+    ~UnixListener();
+
+    /// Binds and listens at `path`. Throws std::runtime_error (with errno
+    /// text) on failure — including a path longer than sockaddr_un allows.
+    static UnixListener bind(const std::string& path);
+
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+    /// Waits up to `timeout_ms` for a pending connection; returns an
+    /// invalid socket on timeout so callers can re-check a stop token
+    /// between polls. Throws std::runtime_error on listener errors.
+    UnixSocket accept(int timeout_ms);
+
+    void close();
+
+  private:
+    UnixListener(int fd, std::string path);
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+/// Connects to a listening Unix-domain socket at `path`, waiting up to
+/// `timeout_ms` for the connect to complete. Throws std::runtime_error on
+/// failure (no listener, timeout, path too long).
+UnixSocket unix_connect(const std::string& path, int timeout_ms);
+
+}  // namespace atm::exec

@@ -698,6 +698,50 @@ TEST(JournalTest, AppendIsThreadSafe) {
     std::remove(path.c_str());
 }
 
+TEST(JournalTest, LoadWithLiveWriterDropsInFlightTailThenSeesItComplete) {
+    const std::string path = testing::TempDir() + "atm_journal_live.jsonl";
+    std::remove(path.c_str());
+    exec::JournalWriter writer = exec::JournalWriter::create(path, "h");
+    writer.append("a");
+
+    // Readers may load while the writer still holds the fd (the serve
+    // daemon's warm restart races a dying predecessor; monitors poll the
+    // file). Each load must see the intact prefix as of that instant.
+    exec::JournalLoad load = exec::load_journal(path);
+    EXPECT_FALSE(load.dropped_tail);
+    EXPECT_EQ(load.records, std::vector<std::string>{"a"});
+
+    writer.append("b");
+    load = exec::load_journal(path);
+    EXPECT_EQ(load.records, (std::vector<std::string>{"a", "b"}));
+    const std::uint64_t intact_bytes = load.valid_bytes;
+
+    // Simulate the writer caught mid-write(2): the first half of its next
+    // frame is visible at EOF. A concurrent load drops the torn tail.
+    const std::string frame = exec::frame_journal_record("c");
+    std::ofstream(path, std::ios::binary | std::ios::app)
+        << frame.substr(0, frame.size() / 2);
+    load = exec::load_journal(path);
+    EXPECT_TRUE(load.dropped_tail);
+    EXPECT_EQ(load.records, (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(load.valid_bytes, intact_bytes);
+
+    // The writer's fd position is still the end of "b", so its append
+    // lands exactly where the in-flight bytes sat — completing the frame
+    // the torn tail previewed. Appends continue as if no reader raced it.
+    writer.append("c");
+    load = exec::load_journal(path);
+    EXPECT_FALSE(load.dropped_tail);
+    EXPECT_EQ(load.records, (std::vector<std::string>{"a", "b", "c"}));
+
+    writer.append("d");
+    load = exec::load_journal(path);
+    EXPECT_FALSE(load.dropped_tail);
+    EXPECT_EQ(load.records, (std::vector<std::string>{"a", "b", "c", "d"}));
+    writer.close();
+    std::remove(path.c_str());
+}
+
 // -------------------------------------------------------------- cancellation
 
 TEST(CancellationTokenTest, FirstReasonWins) {

@@ -146,6 +146,50 @@ TEST(FaultContextTest, ThrowVerdictIsStablePerEntityAndSite) {
     EXPECT_LT(fired, 64u);
 }
 
+TEST(FaultContextTest, EpochRerollsDrawsAndZeroEpochKeepsLegacyChain) {
+    const exec::FaultPlan plan =
+        exec::FaultPlan::parse("serve.apply=throw@0.5", 11);
+    const auto fires = [&plan](std::uint64_t entity, std::uint64_t epoch) {
+        exec::FaultContext ctx{&plan, entity};
+        ctx.epoch = epoch;
+        try {
+            ctx.check_site("serve.apply");
+            return false;
+        } catch (const exec::InjectedFault&) {
+            return true;
+        }
+    };
+    // Epoch 0 is bit-identical to a context without the field, so batch
+    // key chains (and golden chaos runs) are untouched.
+    for (std::uint64_t entity = 0; entity < 8; ++entity) {
+        const exec::FaultContext legacy{&plan, entity};
+        bool legacy_fires = false;
+        try {
+            legacy.check_site("serve.apply");
+        } catch (const exec::InjectedFault&) {
+            legacy_fires = true;
+        }
+        EXPECT_EQ(fires(entity, 0), legacy_fires);
+    }
+    // Each (entity, epoch) is an independent Bernoulli: deterministic on
+    // re-ask, and across 64 epochs both verdicts occur for a fixed box —
+    // no box is permanently wedged or permanently spared by a 0.5 plan.
+    std::size_t fired = 0;
+    for (std::uint64_t epoch = 1; epoch <= 64; ++epoch) {
+        const bool verdict = fires(3, epoch);
+        EXPECT_EQ(fires(3, epoch), verdict);
+        if (verdict) ++fired;
+    }
+    EXPECT_GT(fired, 0u);
+    EXPECT_LT(fired, 64u);
+    // Distinct boxes draw independently at the same epoch.
+    bool differs = false;
+    for (std::uint64_t entity = 0; entity < 32 && !differs; ++entity) {
+        differs = fires(entity, 7) != fires(entity + 32, 7);
+    }
+    EXPECT_TRUE(differs);
+}
+
 TEST(FaultContextTest, TruncationDropsTheTrailingQuarter) {
     const exec::FaultPlan plan = exec::FaultPlan::parse("series=truncate@1", 3);
     const exec::FaultContext ctx{&plan, 0};

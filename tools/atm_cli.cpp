@@ -8,6 +8,8 @@
 //   atm predict <trace>         fleet signature search + next-day accuracy
 //   atm resize <trace>          fleet next-day resizing from predictions
 //   atm backtest <trace>        temporal-model shoot-out on one series
+//   atm serve <trace>           atmd: streaming prediction/resizing daemon
+//   atm play <trace>            stream a trace into a running atmd
 //   atm trace pack|unpack       convert between CSV and the binary format
 //
 // Every subcommand supports --help, accepts both `--key value` and
@@ -21,6 +23,7 @@
 // monitoring exports and packed paper-scale traces are analyzed the
 // same way.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -33,6 +36,8 @@
 #include "forecast/backtest.hpp"
 #include "linalg/simd/simd.hpp"
 #include "obs/metrics.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
 #include "ticketing/characterization.hpp"
 #include "timeseries/stats.hpp"
 #include "tracegen/generator.hpp"
@@ -48,21 +53,26 @@ using namespace atm;
 /// trip it directly.
 exec::CancellationToken g_stop;  // NOLINT(cert-err58-cpp)
 
-extern "C" void handle_sigint(int) {
+extern "C" void handle_stop_signal(int sig) {
     if (g_stop.cancelled()) {
-        // Second Ctrl-C: the operator wants out *now*. Restore the
+        // Second signal: the operator wants out *now*. Restore the
         // default disposition and re-raise so the shell sees a real
-        // SIGINT death; the journal already holds every completed box.
-        std::signal(SIGINT, SIG_DFL);
-        std::raise(SIGINT);
+        // signal death; the journal already holds every completed unit.
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
         return;
     }
     g_stop.cancel(exec::CancelReason::kStop);
 }
 
-/// First SIGINT drains (finish in-flight boxes, journal them, write
-/// partial outputs); second SIGINT kills.
-void install_sigint_drain() { std::signal(SIGINT, handle_sigint); }
+/// First SIGINT/SIGTERM drains (finish in-flight work, journal it, write
+/// partial outputs); a second one kills. SIGTERM gets the same graceful
+/// path as Ctrl-C because that is what process supervisors and `timeout`
+/// send — a fleet run or daemon under systemd should flush, not die torn.
+void install_sigint_drain() {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+}
 
 /// Shared model/threshold flags of the prediction-driven subcommands.
 void add_pipeline_flags(exec::ArgParser& parser) {
@@ -476,6 +486,206 @@ int cmd_backtest(int argc, char** argv) {
     return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+    exec::ArgParser parser(
+        "atm serve",
+        "run atmd: a streaming prediction/resizing daemon over a Unix "
+        "socket (protocol atm.serve.v1); box metadata comes from the "
+        "trace, samples from clients");
+    parser.positional("trace.csv", "trace supplying box/VM metadata")
+        .option("socket", "", "Unix-domain socket path to listen on")
+        .option("method", "cbc", "clustering method: dtw|cbc")
+        .option("model", "mlp", "temporal model: mlp|seasonal-naive")
+        .option("threshold", "60", "ticket threshold in percent")
+        .option("epsilon", "5", "discretization factor, % of VM capacity")
+        .option("train-days", "5", "rolling-window length in days")
+        .option("seed", "42", "model seed")
+        .option("queue-depth", "256",
+                "bounded ingest queue; beyond it clients get busy + "
+                "retry-after (backpressure)")
+        .option("slo-ms", "0",
+                "per-window latency SLO in ms; overruns shed work down "
+                "the degradation ladder (0 = off)")
+        .option("drift-threshold", "0.25",
+                "mean-|correlation| drift that re-triggers signature search")
+        .option("retrain-every", "4", "warm-retrain cadence in windows")
+        .option("retrain-epochs", "8", "SGD epochs per warm retrain")
+        .option("train-epochs", "40", "SGD epochs per cold fit")
+        .option("max-retries", "2",
+                "apply retries on transient (injected) failures")
+        .option("backoff-ms", "1", "initial retry backoff")
+        .option("backoff-max-ms", "100", "retry backoff cap")
+        .option("journal", "",
+                "epoch journal path; enables crash-safe warm restart")
+        .option("metrics-out", "",
+                "serve metrics report (atm.serve-metrics.v1), written "
+                "atomically and refreshed while serving")
+        .option("metrics-every", "64",
+                "rewrite the metrics report every N applied windows")
+        .option("retry-after-ms", "25", "backpressure hint sent with busy")
+        .option("apply-delay-ms", "0",
+                "test seam: sleep before each apply (backpressure tests)")
+        .option("fault-spec", "",
+                "chaos testing, e.g. serve.ingest=throw@0.1 or "
+                "serve.apply=throw@0.05")
+        .option("fault-seed", "42", "seed for the deterministic fault plan")
+        .flag("resume", "warm-restart from --journal when its header matches");
+    if (!parser.parse(argc, argv, 2)) return 0;
+
+    serve::ServeConfig config;
+    const std::string method = parser.get("method");
+    if (method == "dtw") {
+        config.pipeline.search.method = core::ClusteringMethod::kDtw;
+    } else if (method == "cbc") {
+        config.pipeline.search.method = core::ClusteringMethod::kCbc;
+    } else {
+        throw exec::ArgParseError("unknown --method '" + method +
+                                  "' (expected dtw|cbc)");
+    }
+    const std::string model = parser.get("model");
+    if (model == "mlp") {
+        config.pipeline.temporal = forecast::TemporalModel::kNeuralNetwork;
+    } else if (model == "seasonal-naive") {
+        config.pipeline.temporal = forecast::TemporalModel::kSeasonalNaive;
+    } else {
+        throw exec::ArgParseError("unknown --model '" + model +
+                                  "' (expected mlp|seasonal-naive)");
+    }
+    config.pipeline.alpha = parser.get_double("threshold") / 100.0;
+    config.pipeline.epsilon_pct = parser.get_double("epsilon");
+    config.pipeline.train_days = parser.get_int("train-days");
+    config.pipeline.seed = static_cast<unsigned>(parser.get_u64("seed"));
+    config.queue_depth = parser.get_int("queue-depth");
+    config.slo_ms = parser.get_double("slo-ms");
+    config.drift_threshold = parser.get_double("drift-threshold");
+    config.retrain_every = parser.get_int("retrain-every");
+    config.retrain_epochs = parser.get_int("retrain-epochs");
+    config.train_epochs = parser.get_int("train-epochs");
+    config.max_retries = parser.get_int("max-retries");
+    config.backoff_ms = parser.get_double("backoff-ms");
+    config.backoff_max_ms = parser.get_double("backoff-max-ms");
+    config.journal_path = parser.get("journal");
+    config.resume = parser.get_flag("resume");
+    if (const std::string& fault_spec = parser.get("fault-spec");
+        !fault_spec.empty()) {
+        try {
+            config.faults =
+                exec::FaultPlan::parse(fault_spec, parser.get_u64("fault-seed"));
+        } catch (const std::invalid_argument& e) {
+            throw exec::ArgParseError(e.what());
+        }
+    }
+    if (const std::string problems = config.validate(); !problems.empty()) {
+        throw exec::ArgParseError(problems);
+    }
+
+    serve::DaemonOptions options;
+    options.socket_path = parser.get("socket");
+    if (options.socket_path.empty()) {
+        throw exec::ArgParseError("--socket is required");
+    }
+    options.metrics_path = parser.get("metrics-out");
+    if (!options.metrics_path.empty()) {
+        exec::require_writable_file("metrics-out", options.metrics_path);
+    }
+    if (!config.journal_path.empty()) {
+        exec::require_writable_file("journal", config.journal_path);
+    }
+    options.metrics_every_windows = parser.get_int("metrics-every");
+    options.retry_after_ms = parser.get_double("retry-after-ms");
+    options.apply_delay_ms = parser.get_double("apply-delay-ms");
+
+    install_sigint_drain();
+    options.stop = &g_stop;
+
+    const trace::Trace t = trace::read_trace_any_file(parser.get("trace.csv"));
+    serve::ServeDaemon daemon(t, config, options);
+    std::printf("atmd: listening on %s (%zu boxes%s)\n",
+                daemon.socket_path().c_str(), t.boxes.size(),
+                config.resume ? ", resume" : "");
+    std::fflush(stdout);
+    const int code = daemon.run();
+    std::printf("atmd: drained, exit %d\n", code);
+    return code;
+}
+
+int cmd_play(int argc, char** argv) {
+    exec::ArgParser parser(
+        "atm play",
+        "stream a trace's windows into a running atmd (reference client); "
+        "retries on backpressure, skips epochs the daemon already has");
+    parser.positional("trace.csv", "trace whose demand samples to stream")
+        .option("socket", "", "daemon socket path")
+        .option("windows", "-1",
+                "stream at most this many windows per box; negative = all")
+        .option("connect-timeout-ms", "10000", "daemon connect timeout")
+        .flag("shutdown", "send a shutdown request after streaming");
+    if (!parser.parse(argc, argv, 2)) return 0;
+
+    const std::string socket_path = parser.get("socket");
+    if (socket_path.empty()) throw exec::ArgParseError("--socket is required");
+    const trace::Trace t = trace::read_trace_any_file(parser.get("trace.csv"));
+
+    serve::ServeClient client = serve::ServeClient::connect(
+        socket_path, parser.get_int("connect-timeout-ms"));
+    std::printf("play: connected (%d boxes at daemon%s)\n",
+                client.hello().boxes,
+                client.hello().resumed ? ", warm restart" : "");
+
+    std::size_t windows = t.boxes.empty() ? 0 : t.boxes.front().length();
+    if (const int limit = parser.get_int("windows"); limit >= 0) {
+        windows = std::min(windows, static_cast<std::size_t>(limit));
+    }
+    std::uint64_t applied = 0;
+    std::uint64_t warming = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t degraded = 0;
+    std::vector<double> cpu;
+    std::vector<double> ram;
+    for (std::size_t epoch = 0; epoch < windows; ++epoch) {
+        for (const trace::BoxTrace& box : t.boxes) {
+            cpu.clear();
+            ram.clear();
+            for (const trace::VmTrace& vm : box.vms) {
+                cpu.push_back(vm.cpu_demand_ghz.values()[epoch]);
+                ram.push_back(vm.ram_demand_gb.values()[epoch]);
+            }
+            const serve::Response response =
+                client.window_retry(box.name, epoch, cpu, ram);
+            if (response.type == "error") {
+                std::fprintf(stderr, "play: %s\n", response.message.c_str());
+                return 1;
+            }
+            if (response.status == "applied") {
+                ++applied;
+                if (response.ladder != 0) ++degraded;
+            } else if (response.status == "warming") {
+                ++warming;
+            } else if (response.status == "stale") {
+                // Warm restart: the daemon's journal already has this
+                // window; re-sending from epoch 0 is the protocol.
+                ++stale;
+            } else {
+                std::fprintf(stderr, "play: box %s epoch %zu: %s\n",
+                             box.name.c_str(), epoch,
+                             response.status.c_str());
+                return 1;
+            }
+        }
+    }
+    std::printf("play: %llu applied (%llu degraded), %llu warming, "
+                "%llu already journaled\n",
+                static_cast<unsigned long long>(applied),
+                static_cast<unsigned long long>(degraded),
+                static_cast<unsigned long long>(warming),
+                static_cast<unsigned long long>(stale));
+    if (parser.get_flag("shutdown")) {
+        client.shutdown();
+        std::printf("play: daemon shutdown requested\n");
+    }
+    return 0;
+}
+
 void print_usage(std::FILE* out) {
     std::fprintf(out,
                  "atm — Active Ticket Managing (DSN'16 reproduction)\n"
@@ -486,6 +696,8 @@ void print_usage(std::FILE* out) {
                  "  predict       fleet next-day prediction accuracy (--jobs N)\n"
                  "  resize        fleet prediction-driven resizing (--jobs N)\n"
                  "  backtest      temporal-model comparison on one series\n"
+                 "  serve         run atmd, the streaming daemon (Unix socket)\n"
+                 "  play          stream a trace into a running atmd\n"
                  "  trace         pack/unpack between CSV and binary traces\n");
 }
 
@@ -503,6 +715,8 @@ int main(int argc, char** argv) {
         if (cmd == "predict") return cmd_predict(argc, argv);
         if (cmd == "resize") return cmd_resize(argc, argv);
         if (cmd == "backtest") return cmd_backtest(argc, argv);
+        if (cmd == "serve") return cmd_serve(argc, argv);
+        if (cmd == "play") return cmd_play(argc, argv);
         if (cmd == "trace") return cmd_trace(argc, argv);
         std::fprintf(stderr, "atm: unknown subcommand '%s'\n", cmd.c_str());
         print_usage(stderr);
